@@ -1,0 +1,238 @@
+package sgb
+
+// This file holds one testing.B benchmark per table/figure of the paper's
+// evaluation section. Run them with:
+//
+//	go test -bench=. -benchmem
+//
+// The full parameter sweeps (all ε values, all scale factors) live in
+// cmd/sgbbench; the benchmarks here pin each experiment's representative
+// configuration so `go test -bench` regenerates one point of every curve
+// with statistically stable timings.
+
+import (
+	"testing"
+
+	"sgb/internal/bench"
+	"sgb/internal/checkin"
+	"sgb/internal/cluster"
+	"sgb/internal/core"
+	"sgb/internal/engine"
+	"sgb/internal/geom"
+)
+
+const (
+	benchEps    = 0.2
+	benchSeed   = 1
+	benchPoints = 5000 // per-iteration input size for operator benchmarks
+)
+
+var benchPts = bench.SweepPoints(benchPoints, benchSeed)
+
+func benchSGBAll(b *testing.B, alg core.Algorithm, ov core.Overlap) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SGBAll(benchPts, core.Options{
+			Metric: geom.L2, Eps: benchEps, Overlap: ov, Algorithm: alg,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSGBAny(b *testing.B, alg core.Algorithm) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SGBAny(benchPts, core.Options{
+			Metric: geom.L2, Eps: benchEps, Algorithm: alg,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 1: complexity of the SGB-All variants ------------------------
+
+func BenchmarkTable1_AllPairs_JoinAny(b *testing.B)   { benchSGBAll(b, core.AllPairs, core.JoinAny) }
+func BenchmarkTable1_AllPairs_Eliminate(b *testing.B) { benchSGBAll(b, core.AllPairs, core.Eliminate) }
+func BenchmarkTable1_AllPairs_FormNew(b *testing.B)   { benchSGBAll(b, core.AllPairs, core.FormNewGroup) }
+func BenchmarkTable1_Bounds_JoinAny(b *testing.B)     { benchSGBAll(b, core.BoundsChecking, core.JoinAny) }
+func BenchmarkTable1_Bounds_Eliminate(b *testing.B) {
+	benchSGBAll(b, core.BoundsChecking, core.Eliminate)
+}
+func BenchmarkTable1_Bounds_FormNew(b *testing.B) {
+	benchSGBAll(b, core.BoundsChecking, core.FormNewGroup)
+}
+func BenchmarkTable1_Index_JoinAny(b *testing.B)   { benchSGBAll(b, core.IndexBounds, core.JoinAny) }
+func BenchmarkTable1_Index_Eliminate(b *testing.B) { benchSGBAll(b, core.IndexBounds, core.Eliminate) }
+func BenchmarkTable1_Index_FormNew(b *testing.B)   { benchSGBAll(b, core.IndexBounds, core.FormNewGroup) }
+
+// --- Table 2: the evaluation workload through the SQL engine ------------
+
+func benchTable2Query(b *testing.B, spec bench.QuerySpec) {
+	db, err := bench.NewTPCHDB(1, 300, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.SetSGBAlgorithm(core.IndexBounds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(spec.SQL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_GB1(b *testing.B)  { benchTable2Query(b, bench.GB1()) }
+func BenchmarkTable2_SGB1(b *testing.B) { benchTable2Query(b, bench.SGB1(benchEps, core.JoinAny)) }
+func BenchmarkTable2_SGB2(b *testing.B) { benchTable2Query(b, bench.SGB2(benchEps)) }
+func BenchmarkTable2_GB2(b *testing.B)  { benchTable2Query(b, bench.GB2()) }
+func BenchmarkTable2_SGB3(b *testing.B) { benchTable2Query(b, bench.SGB3(benchEps, core.JoinAny)) }
+func BenchmarkTable2_SGB4(b *testing.B) { benchTable2Query(b, bench.SGB4(benchEps)) }
+func BenchmarkTable2_GB3(b *testing.B)  { benchTable2Query(b, bench.GB3()) }
+func BenchmarkTable2_SGB5(b *testing.B) { benchTable2Query(b, bench.SGB5(benchEps, core.JoinAny)) }
+func BenchmarkTable2_SGB6(b *testing.B) { benchTable2Query(b, bench.SGB6(benchEps)) }
+
+// --- Figure 9: eps-sweep representatives (eps = 0.2 like Figure 10) -----
+
+func BenchmarkFig9a_JoinAny_AllPairs(b *testing.B) { benchSGBAll(b, core.AllPairs, core.JoinAny) }
+func BenchmarkFig9a_JoinAny_Bounds(b *testing.B)   { benchSGBAll(b, core.BoundsChecking, core.JoinAny) }
+func BenchmarkFig9a_JoinAny_Index(b *testing.B)    { benchSGBAll(b, core.IndexBounds, core.JoinAny) }
+func BenchmarkFig9b_Eliminate_AllPairs(b *testing.B) {
+	benchSGBAll(b, core.AllPairs, core.Eliminate)
+}
+func BenchmarkFig9b_Eliminate_Bounds(b *testing.B) {
+	benchSGBAll(b, core.BoundsChecking, core.Eliminate)
+}
+func BenchmarkFig9b_Eliminate_Index(b *testing.B) { benchSGBAll(b, core.IndexBounds, core.Eliminate) }
+func BenchmarkFig9c_FormNew_AllPairs(b *testing.B) {
+	benchSGBAll(b, core.AllPairs, core.FormNewGroup)
+}
+func BenchmarkFig9c_FormNew_Bounds(b *testing.B) {
+	benchSGBAll(b, core.BoundsChecking, core.FormNewGroup)
+}
+func BenchmarkFig9c_FormNew_Index(b *testing.B) {
+	benchSGBAll(b, core.IndexBounds, core.FormNewGroup)
+}
+func BenchmarkFig9d_Any_AllPairs(b *testing.B) { benchSGBAny(b, core.AllPairs) }
+func BenchmarkFig9d_Any_Index(b *testing.B)    { benchSGBAny(b, core.IndexBounds) }
+
+// --- Figure 10: data-size representative through the SQL pipeline -------
+
+func benchFig10(b *testing.B, alg core.Algorithm, sql string) {
+	db, err := bench.NewTPCHDB(2, 300, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db.SetSGBAlgorithm(alg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_All_Bounds(b *testing.B) {
+	benchFig10(b, core.BoundsChecking, bench.SGB1(benchEps, core.JoinAny).SQL)
+}
+func BenchmarkFig10_All_Index(b *testing.B) {
+	benchFig10(b, core.IndexBounds, bench.SGB1(benchEps, core.JoinAny).SQL)
+}
+func BenchmarkFig10_Any_AllPairs(b *testing.B) {
+	benchFig10(b, core.AllPairs, bench.SGB2(benchEps).SQL)
+}
+func BenchmarkFig10_Any_Index(b *testing.B) {
+	benchFig10(b, core.IndexBounds, bench.SGB2(benchEps).SQL)
+}
+
+// --- Figure 11: SGB vs clustering on skewed check-in data ---------------
+
+var fig11Pts = checkin.Points(checkin.Generate(checkin.Config{N: 5000, Seed: benchSeed}))
+
+func BenchmarkFig11_DBSCAN(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.DBSCAN(fig11Pts, geom.L2, 0.005, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_BIRCH(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.BIRCH(fig11Pts, 0.02, 8, 40, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_KMeans20(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(fig11Pts, 20, 100, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_KMeans40(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.KMeans(fig11Pts, 40, 100, benchSeed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_SGBAll_Index(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SGBAll(fig11Pts, core.Options{
+			Metric: geom.L2, Eps: 0.005, Overlap: core.JoinAny, Algorithm: core.IndexBounds,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11_SGBAny_Index(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SGBAny(fig11Pts, core.Options{
+			Metric: geom.L2, Eps: 0.005, Algorithm: core.IndexBounds,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 12: SGB overhead vs standard Group-By -----------------------
+
+var fig12DB = func() *engine.DB {
+	db, err := bench.NewTPCHDB(2, 300, benchSeed)
+	if err != nil {
+		panic(err)
+	}
+	db.SetSGBAlgorithm(core.IndexBounds)
+	return db
+}()
+
+func benchFig12(b *testing.B, sql string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fig12DB.Query(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12a_GB2(b *testing.B)  { benchFig12(b, bench.GB2().SQL) }
+func BenchmarkFig12a_SGB3(b *testing.B) { benchFig12(b, bench.SGB3(benchEps, core.JoinAny).SQL) }
+func BenchmarkFig12a_SGB4(b *testing.B) { benchFig12(b, bench.SGB4(benchEps).SQL) }
+func BenchmarkFig12b_GB3(b *testing.B)  { benchFig12(b, bench.GB3().SQL) }
+func BenchmarkFig12b_SGB5(b *testing.B) { benchFig12(b, bench.SGB5(benchEps, core.JoinAny).SQL) }
+func BenchmarkFig12b_SGB6(b *testing.B) { benchFig12(b, bench.SGB6(benchEps).SQL) }

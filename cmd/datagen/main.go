@@ -1,0 +1,99 @@
+// Command datagen writes the synthetic datasets to CSV files so they can be
+// inspected or loaded into other systems.
+//
+//	datagen -dataset tpch -sf 1 -out ./data
+//	datagen -dataset checkin -n 100000 -out ./data
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sgb/internal/checkin"
+	"sgb/internal/engine"
+	"sgb/internal/tpch"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "tpch", "dataset to generate: tpch or checkin")
+		sf      = flag.Float64("sf", 1, "TPC-H scale factor")
+		custSF  = flag.Int("custsf", 1500, "customer rows per scale factor unit")
+		n       = flag.Int("n", 100000, "check-in count")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	switch *dataset {
+	case "tpch":
+		d := tpch.Generate(tpch.Config{SF: *sf, CustomersPerSF: *custSF, Seed: *seed})
+		schemas := tpch.Schemas()
+		tables := map[string][]engine.Row{
+			"nation": d.Nations, "customer": d.Customers, "orders": d.Orders,
+			"lineitem": d.Lineitems, "supplier": d.Suppliers, "partsupp": d.PartSupps,
+		}
+		for name, rows := range tables {
+			if err := writeCSV(filepath.Join(*out, name+".csv"), schemas[name].Names(), rows); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s.csv (%d rows)\n", name, len(rows))
+		}
+	case "checkin":
+		cs := checkin.Generate(checkin.Config{N: *n, Seed: *seed})
+		rows := make([]engine.Row, len(cs))
+		for i, c := range cs {
+			rows[i] = engine.Row{
+				engine.NewInt(int64(c.UserID)),
+				engine.NewFloat(c.Lat),
+				engine.NewFloat(c.Lon),
+			}
+		}
+		if err := writeCSV(filepath.Join(*out, "checkins.csv"), checkin.Schema().Names(), rows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote checkins.csv (%d rows)\n", len(rows))
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+}
+
+func writeCSV(path string, header []string, rows []engine.Row) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, len(header))
+	for _, r := range rows {
+		for i, v := range r {
+			switch v.T {
+			case engine.TypeFloat:
+				record[i] = strconv.FormatFloat(v.F, 'f', -1, 64)
+			default:
+				record[i] = v.String()
+			}
+		}
+		if err := w.Write(record); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

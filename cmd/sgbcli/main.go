@@ -1,0 +1,245 @@
+// Command sgbcli is an interactive SQL shell for the similarity group-by
+// engine. Statements end with ';'. Meta commands:
+//
+//	\tables              list tables
+//	\load tpch <SF>      generate and load TPC-H-style data
+//	\load checkin <N>    generate and load a check-in table ("checkins")
+//	\alg <name>          pick the SGB algorithm: allpairs | bounds | index
+//	\save <file>         snapshot the database to a file
+//	\open <file>         replace the session database with a snapshot
+//	\timing              toggle query timing
+//	\q                   quit
+//
+// Example session:
+//
+//	sgb> \load checkin 10000
+//	sgb> SELECT count(*) FROM checkins
+//	     GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 0.5;
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sgb/internal/checkin"
+	"sgb/internal/core"
+	"sgb/internal/engine"
+	"sgb/internal/tpch"
+)
+
+func main() {
+	db := engine.NewDB()
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	timing := false
+	var buf strings.Builder
+
+	fmt.Println("similarity group-by shell — \\q to quit, \\load tpch 1 to get data")
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sgb> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(&db, trimmed, &timing) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt()
+			continue
+		}
+		sql := strings.TrimSpace(buf.String())
+		buf.Reset()
+		start := time.Now()
+		res, err := db.Exec(sql)
+		elapsed := time.Since(start)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			printResult(res)
+			if timing {
+				fmt.Printf("(%v)\n", elapsed)
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles a backslash command; it returns false on \q.
+func meta(dbp **engine.DB, cmd string, timing *bool) bool {
+	db := *dbp
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\timing":
+		*timing = !*timing
+		fmt.Println("timing:", *timing)
+	case "\\tables":
+		for _, n := range db.Catalog().Names() {
+			t, _ := db.Catalog().Get(n)
+			fmt.Printf("%s (%d rows)\n", n, len(t.Rows))
+		}
+	case "\\alg":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\alg allpairs|bounds|index")
+			break
+		}
+		switch fields[1] {
+		case "allpairs":
+			db.SetSGBAlgorithm(core.AllPairs)
+		case "bounds":
+			db.SetSGBAlgorithm(core.BoundsChecking)
+		case "index":
+			db.SetSGBAlgorithm(core.IndexBounds)
+		default:
+			fmt.Println("unknown algorithm:", fields[1])
+		}
+		fmt.Println("SGB algorithm:", db.SGBAlgorithm())
+	case "\\save":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\save <file>")
+			break
+		}
+		f, err := os.Create(fields[1])
+		if err != nil {
+			fmt.Println("save failed:", err)
+			break
+		}
+		err = db.Save(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Println("save failed:", err)
+		} else {
+			fmt.Println("saved to", fields[1])
+		}
+	case "\\open":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\open <file>")
+			break
+		}
+		f, err := os.Open(fields[1])
+		if err != nil {
+			fmt.Println("open failed:", err)
+			break
+		}
+		loaded, err := engine.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Println("open failed:", err)
+			break
+		}
+		*dbp = loaded
+		fmt.Println("opened", fields[1])
+	case "\\load":
+		if len(fields) != 3 {
+			fmt.Println("usage: \\load tpch <SF> | \\load checkin <N>")
+			break
+		}
+		switch fields[1] {
+		case "tpch":
+			sf, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				fmt.Println("bad scale factor:", fields[2])
+				break
+			}
+			d := tpch.Generate(tpch.Config{SF: sf, Seed: 1})
+			if err := d.Load(db); err != nil {
+				fmt.Println("load failed:", err)
+				break
+			}
+			fmt.Printf("loaded: %v\n", d.Counts())
+		case "checkin":
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Println("bad count:", fields[2])
+				break
+			}
+			cs := checkin.Generate(checkin.Config{N: n, Seed: 1})
+			if err := checkin.Load(db, "checkins", cs); err != nil {
+				fmt.Println("load failed:", err)
+				break
+			}
+			fmt.Printf("loaded %d check-ins into table checkins\n", n)
+		default:
+			fmt.Println("unknown dataset:", fields[1])
+		}
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+	return true
+}
+
+func printResult(res *engine.Result) {
+	if len(res.Columns) == 0 {
+		if res.RowsAffected > 0 {
+			fmt.Printf("ok (%d rows)\n", res.RowsAffected)
+		} else {
+			fmt.Println("ok")
+		}
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	const maxRows = 50
+	shown := res.Rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	cells := make([][]string, len(shown))
+	for i, r := range shown {
+		cells[i] = make([]string, len(r))
+		for j, v := range r {
+			s := v.String()
+			if len(s) > 60 {
+				s = s[:57] + "..."
+			}
+			cells[i][j] = s
+			if j < len(widths) && len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	row := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Print(" | ")
+			}
+			fmt.Print(v, strings.Repeat(" ", widths[i]-len(v)))
+		}
+		fmt.Println()
+	}
+	row(res.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 3
+	}
+	fmt.Println(strings.Repeat("-", total))
+	for _, r := range cells {
+		row(r)
+	}
+	if len(res.Rows) > maxRows {
+		fmt.Printf("... (%d rows total)\n", len(res.Rows))
+	} else {
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	}
+}

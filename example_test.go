@@ -1,0 +1,91 @@
+package sgb_test
+
+import (
+	"fmt"
+	"log"
+
+	"sgb"
+)
+
+// The paper's Figure 2: two cliques and a point overlapping both, grouped
+// with each ON-OVERLAP semantics.
+func ExampleGroupAll() {
+	points := []sgb.Point{{1, 1}, {2, 2}, {6, 1}, {7, 2}, {4, 1.5}}
+	for _, overlap := range []sgb.Overlap{sgb.JoinAny, sgb.Eliminate, sgb.FormNewGroup} {
+		res, err := sgb.GroupAll(points, sgb.Options{
+			Metric:    sgb.LInf,
+			Eps:       3,
+			Overlap:   overlap,
+			Algorithm: sgb.IndexBounds,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(overlap, res.Sizes())
+	}
+	// Output:
+	// JOIN-ANY [3 2]
+	// ELIMINATE [2 2]
+	// FORM-NEW-GROUP [2 2 1]
+}
+
+// DISTANCE-TO-ANY merges every group the bridging point touches.
+func ExampleGroupAny() {
+	points := []sgb.Point{{1, 1}, {2, 2}, {6, 1}, {7, 2}, {4, 1.5}}
+	res, err := sgb.GroupAny(points, sgb.Options{
+		Metric: sgb.LInf, Eps: 3, Algorithm: sgb.IndexBounds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Sizes())
+	// Output:
+	// [5]
+}
+
+// Streaming use: feed points one at a time, then materialize.
+func ExampleNewAnyGrouper() {
+	g, err := sgb.NewAnyGrouper(sgb.Options{Metric: sgb.L2, Eps: 1.5, Algorithm: sgb.IndexBounds})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []sgb.Point{{0, 0}, {1, 0}, {2, 0}, {9, 9}} {
+		if _, err := g.Add(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := g.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(res.Groups), "groups")
+	// Output:
+	// 2 groups
+}
+
+// The SQL entry point with the similarity-extended GROUP BY grammar.
+func ExampleNewDB() {
+	db := sgb.NewDB()
+	mustExec := func(q string) {
+		if _, err := db.Exec(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustExec("CREATE TABLE gpspoints (id INT, lat FLOAT, lon FLOAT)")
+	mustExec(`INSERT INTO gpspoints VALUES
+		(1, 1, 1), (2, 2, 2), (3, 6, 1), (4, 7, 2), (5, 4, 1.5)`)
+	res, err := db.Query(`
+		SELECT count(*) FROM gpspoints
+		GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 3
+		ON-OVERLAP ELIMINATE
+		ORDER BY count(*) DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println("group of", row[0])
+	}
+	// Output:
+	// group of 2
+	// group of 2
+}

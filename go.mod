@@ -1,0 +1,3 @@
+module sgb
+
+go 1.22

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"sgb/internal/core"
+	"sgb/internal/geom"
+	"sgb/internal/rtree"
+)
+
+// Ablations isolates the effect of the individual design choices in the
+// SGB-All/SGB-Any implementation that DESIGN.md calls out:
+//
+//   - the convex-hull refinement of the L2 rectangle filter (Procedure 6)
+//     versus exact member scans,
+//   - the distance metric (L∞ exact rectangles vs L2 filtered rectangles vs
+//     the L1 extension),
+//   - the dimensionality of the grouping attributes (2-D vs 3-D, §4's
+//     stated scope),
+//   - the R-tree node fan-out backing the on-the-fly index.
+func Ablations(sc Scale) ([]*Report, error) {
+	var reports []*Report
+
+	// --- Hull refinement -------------------------------------------------
+	hullRep := &Report{
+		Title:  fmt.Sprintf("Ablation A1 — convex hull refinement (L2, Index, n=%d)", sc.Fig9N),
+		Header: []string{"eps", "with hull", "without hull", "hull speedup", "hull tests", "dist comps saved"},
+		Notes: []string{
+			"without the hull test, an L2 rectangle hit falls back to scanning every group member",
+		},
+	}
+	pts := SweepPoints(sc.Fig9N, sc.Seed)
+	for _, eps := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		var withStats, withoutStats core.Stats
+		with, err := bestOf3(func() error {
+			res, err := core.SGBAll(pts, core.Options{Metric: geom.L2, Eps: eps, Overlap: core.JoinAny, Algorithm: core.IndexBounds})
+			if err == nil {
+				withStats = res.Stats
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		without, err := bestOf3(func() error {
+			res, err := core.SGBAll(pts, core.Options{Metric: geom.L2, Eps: eps, Overlap: core.JoinAny, Algorithm: core.IndexBounds, DisableHullRefine: true})
+			if err == nil {
+				withoutStats = res.Stats
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		hullRep.AddRow(fmt.Sprintf("%.1f", eps), fmtDur(with), fmtDur(without),
+			fmtSpeedup(without, with),
+			fmt.Sprintf("%d", withStats.HullTests),
+			fmt.Sprintf("%d", withoutStats.DistanceComps-withStats.DistanceComps))
+	}
+	reports = append(reports, hullRep)
+
+	// --- Metric ----------------------------------------------------------
+	metricRep := &Report{
+		Title:  fmt.Sprintf("Ablation A2 — distance metric (Index, JOIN-ANY, n=%d, eps=0.3)", sc.Fig9N),
+		Header: []string{"metric", "SGB-All", "SGB-Any", "All groups", "Any groups"},
+		Notes: []string{
+			"L∞ needs no refinement (rectangles are exact); L2 and L1 pay the filter-refine step",
+		},
+	}
+	for _, m := range []geom.Metric{geom.LInf, geom.L2, geom.L1} {
+		var allGroups, anyGroups int
+		dAll, err := bestOf3(func() error {
+			res, err := core.SGBAll(pts, core.Options{Metric: m, Eps: 0.3, Overlap: core.JoinAny, Algorithm: core.IndexBounds})
+			if err == nil {
+				allGroups = len(res.Groups)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		dAny, err := bestOf3(func() error {
+			res, err := core.SGBAny(pts, core.Options{Metric: m, Eps: 0.3, Algorithm: core.IndexBounds})
+			if err == nil {
+				anyGroups = len(res.Groups)
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		metricRep.AddRow(m.String(), fmtDur(dAll), fmtDur(dAny),
+			fmt.Sprintf("%d", allGroups), fmt.Sprintf("%d", anyGroups))
+	}
+	reports = append(reports, metricRep)
+
+	// --- Dimensionality --------------------------------------------------
+	dimRep := &Report{
+		Title:  fmt.Sprintf("Ablation A3 — dimensionality (Index, JOIN-ANY, n=%d, eps=0.3, L2)", sc.Fig9N/2),
+		Header: []string{"dim", "SGB-All", "SGB-Any", "refinement"},
+		Notes: []string{
+			"the hull refinement exists for 2-D; other dimensionalities fall back to exact member scans under L2",
+		},
+	}
+	for _, dim := range []int{1, 2, 3, 4} {
+		dpts := UniformPointsSpan(sc.Fig9N/2, dim, sc.Seed, 12)
+		dAll, err := bestOf3(func() error {
+			_, err := core.SGBAll(dpts, core.Options{Metric: geom.L2, Eps: 0.3, Overlap: core.JoinAny, Algorithm: core.IndexBounds})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		dAny, err := bestOf3(func() error {
+			_, err := core.SGBAny(dpts, core.Options{Metric: geom.L2, Eps: 0.3, Algorithm: core.IndexBounds})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		refine := "exact member scan"
+		switch dim {
+		case 1:
+			refine = "rectangle exact"
+		case 2:
+			refine = "convex hull"
+		}
+		dimRep.AddRow(fmt.Sprintf("%d", dim), fmtDur(dAll), fmtDur(dAny), refine)
+	}
+	reports = append(reports, dimRep)
+
+	// --- R-tree fan-out ---------------------------------------------------
+	fanRep := &Report{
+		Title:  fmt.Sprintf("Ablation A4 — R-tree node fan-out (insert+query microbench, n=%d)", sc.Fig9N),
+		Header: []string{"min/max entries", "build", "1000 window queries"},
+		Notes: []string{
+			"the operators use 6/16; smaller nodes split more often, larger nodes scan more per level",
+		},
+	}
+	qpts := SweepPoints(sc.Fig9N, sc.Seed+5)
+	for _, fan := range [][2]int{{2, 4}, {4, 8}, {6, 16}, {16, 32}, {32, 64}} {
+		var tree *rtree.Tree
+		build, err := bestOf3(func() error {
+			tree = rtree.NewWithFanout(2, fan[0], fan[1])
+			for i, p := range qpts {
+				tree.Insert(geom.PointRect(p), int64(i))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		query, err := bestOf3(func() error {
+			for i := 0; i < 1000; i++ {
+				tree.Search(geom.BoxAround(qpts[i%len(qpts)], 0.3), func(int64) bool { return true })
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		fanRep.AddRow(fmt.Sprintf("%d/%d", fan[0], fan[1]), fmtDur(build), fmtDur(query))
+	}
+	reports = append(reports, fanRep)
+
+	// --- Insertion-order sensitivity --------------------------------------
+	orderRep := &Report{
+		Title:  fmt.Sprintf("Ablation A5 — insertion-order sensitivity (n=%d, eps=0.3, L2, Index)", sc.Fig9N/4),
+		Header: []string{"permutation", "SGB-All JOIN-ANY groups", "SGB-Any groups"},
+		Notes: []string{
+			"SGB-All grouping is stream-order dependent (§6, Figure 2); SGB-Any is order-free (connected components)",
+		},
+	}
+	base := SweepPoints(sc.Fig9N/4, sc.Seed)
+	perms := [][]geom.Point{base, reversed(base), interleaved(base)}
+	names := []string{"input order", "reversed", "interleaved"}
+	for i, pp := range perms {
+		resAll, err := core.SGBAll(pp, core.Options{Metric: geom.L2, Eps: 0.3, Overlap: core.JoinAny, Algorithm: core.IndexBounds})
+		if err != nil {
+			return nil, err
+		}
+		resAny, err := core.SGBAny(pp, core.Options{Metric: geom.L2, Eps: 0.3, Algorithm: core.IndexBounds})
+		if err != nil {
+			return nil, err
+		}
+		orderRep.AddRow(names[i], fmt.Sprintf("%d", len(resAll.Groups)), fmt.Sprintf("%d", len(resAny.Groups)))
+	}
+	reports = append(reports, orderRep)
+
+	return reports, nil
+}
+
+func bestOf3(f func() error) (time.Duration, error) {
+	var best time.Duration = 1<<63 - 1
+	for i := 0; i < 3; i++ {
+		d, err := timeIt(f)
+		if err != nil {
+			return 0, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func reversed(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	for i, p := range pts {
+		out[len(pts)-1-i] = p
+	}
+	return out
+}
+
+func interleaved(pts []geom.Point) []geom.Point {
+	out := make([]geom.Point, 0, len(pts))
+	for i := 0; i < len(pts); i += 2 {
+		out = append(out, pts[i])
+	}
+	for i := 1; i < len(pts); i += 2 {
+		out = append(out, pts[i])
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"sgb/internal/core"
+)
+
+func smallScale() Scale {
+	return Scale{
+		Fig9N:          800,
+		Fig10SFs:       []float64{0.5, 1},
+		CustomersPerSF: 100,
+		Fig11Sizes:     []int{500, 1000},
+		Table1Ns:       []int{200, 400},
+		Seed:           1,
+	}
+}
+
+func TestTable2AllQueriesRun(t *testing.T) {
+	rep, err := Table2(smallScale(), 1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 9 {
+		t.Fatalf("expected 9 workload queries, got %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row[2] == "0" && strings.HasPrefix(row[0], "GB") {
+			t.Errorf("query %s returned no rows", row[0])
+		}
+	}
+	out := rep.String()
+	for _, id := range []string{"GB1", "SGB1", "SGB2", "GB2", "SGB3", "SGB4", "GB3", "SGB5", "SGB6"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("report missing query %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestFig9Runs(t *testing.T) {
+	reports, err := Fig9(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("expected 4 sub-figures, got %d", len(reports))
+	}
+	for _, r := range reports {
+		if len(r.Rows) != len(epsSweep) {
+			t.Errorf("%s: %d rows, want %d", r.Title, len(r.Rows), len(epsSweep))
+		}
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	reports, err := Fig10(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("expected 4 sub-figures, got %d", len(reports))
+	}
+}
+
+func TestFig11Runs(t *testing.T) {
+	reports, err := Fig11(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("expected 2 sub-figures, got %d", len(reports))
+	}
+}
+
+func TestFig12Runs(t *testing.T) {
+	reports, err := Fig12(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("expected 2 sub-figures, got %d", len(reports))
+	}
+}
+
+func TestTable1Runs(t *testing.T) {
+	rep, err := Table1(smallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 11 {
+		t.Fatalf("expected 11 variants, got %d", len(rep.Rows))
+	}
+}
+
+func TestQuerySpecsParse(t *testing.T) {
+	// Every workload query must at least parse.
+	for _, ov := range []core.Overlap{core.JoinAny, core.Eliminate, core.FormNewGroup} {
+		for _, q := range AllQueries(0.3, ov) {
+			db, err := NewTPCHDB(0.2, 50, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Query(q.SQL); err != nil {
+				t.Errorf("%s (%v): %v", q.ID, ov, err)
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	pts := UniformPoints(100, 2, 3)
+	for i := range pts {
+		pts[i][0] = pts[i][0]*50 + 25
+		pts[i][1] = pts[i][1]*10 - 120
+	}
+	norm := normalize(pts)
+	for _, p := range norm {
+		if p[0] < 0 || p[0] > 1 || p[1] < 0 || p[1] > 1 {
+			t.Fatalf("normalized point out of range: %v", p)
+		}
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	r := &Report{Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n1"}}
+	r.AddRow("1", "2")
+	out := r.String()
+	for _, want := range []string{"== T ==", "a", "bb", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	sc := smallScale()
+	reports, err := Ablations(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 5 {
+		t.Fatalf("expected 5 ablation reports, got %d", len(reports))
+	}
+	for _, r := range reports {
+		if len(r.Rows) == 0 {
+			t.Errorf("%s: empty report", r.Title)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (§8): the complexity table (Table 1), the
+// TPC-H workload queries (Table 2), the ε sweeps (Figure 9), the data-size
+// sweeps (Figure 10), the clustering comparison (Figure 11), and the
+// overhead-vs-Group-By measurement (Figure 12).
+//
+// Each experiment returns a Report — a titled text table plus free-form
+// notes — that cmd/sgbbench prints. The absolute numbers depend on the host;
+// the shapes (who wins, by what factor, how curves move with ε and n) are
+// what reproduce the paper.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Report is one table of results plus commentary.
+type Report struct {
+	// Title identifies the paper artifact (e.g. "Figure 9a").
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+	// Notes carries the expected-shape commentary and any caveats.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("== " + r.Title + " ==\n")
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// timeIt runs f and returns its wall-clock duration.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// fmtDur renders a duration with three significant figures.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+// fmtSpeedup renders a speedup factor.
+func fmtSpeedup(base, other time.Duration) string {
+	if other <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(base)/float64(other))
+}
+
+// CSV writes the report as a CSV table (header row first). Notes are
+// omitted — CSV output is intended for plotting tools.
+func (r *Report) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// FileName derives a filesystem-friendly name for the report.
+func (r *Report) FileName() string {
+	name := strings.ToLower(r.Title)
+	if i := strings.IndexAny(name, "—-("); i > 0 {
+		name = name[:i]
+	}
+	name = strings.TrimSpace(name)
+	name = strings.ReplaceAll(name, " ", "_")
+	var sb strings.Builder
+	for _, c := range name {
+		if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' {
+			sb.WriteRune(c)
+		}
+	}
+	return sb.String() + ".csv"
+}

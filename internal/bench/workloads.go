@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sgb/internal/core"
+	"sgb/internal/engine"
+	"sgb/internal/geom"
+	"sgb/internal/tpch"
+)
+
+// UniformPoints generates n points uniform in [0,1]^dim.
+func UniformPoints(n, dim int, seed int64) []geom.Point {
+	return UniformPointsSpan(n, dim, seed, 1)
+}
+
+// UniformPointsSpan generates n points uniform in [0,span]^dim.
+func UniformPointsSpan(n, dim int, seed int64, span float64) []geom.Point {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = r.Float64() * span
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// SweepPoints generates the 2-D workload for the ε sweeps and the
+// complexity ladder. Grouping attributes in the paper's workload (account
+// balances, aggregated totals) repeat heavily, so points concentrate on
+// tight sites of ~50 near-duplicates each, scattered over a domain that
+// grows with sqrt(n) (constant site density). At ε=0.1 each site is its own
+// clique; larger ε progressively merges nearby sites, so the group count —
+// and with it the All-Pairs and Bounds-Checking runtimes — falls as ε grows,
+// the regime of the paper's Figure 9.
+func SweepPoints(n int, seed int64) []geom.Point {
+	span := math.Sqrt(float64(n)) / 6
+	if span < 1 {
+		span = 1
+	}
+	sites := n / 50
+	if sites < 1 {
+		sites = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	centers := make([]geom.Point, sites)
+	for i := range centers {
+		centers[i] = geom.Point{r.Float64() * span, r.Float64() * span}
+	}
+	// Site radius 0.03 keeps every site an L2 clique at the smallest swept
+	// ε (0.1): the in-site diameter is at most ~0.085.
+	const jitter = 0.03
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[r.Intn(sites)]
+		pts[i] = geom.Point{
+			c[0] + (r.Float64()*2-1)*jitter,
+			c[1] + (r.Float64()*2-1)*jitter,
+		}
+	}
+	return pts
+}
+
+// NewTPCHDB generates TPC-H-style data at the given scale factor and loads
+// it into a fresh database.
+func NewTPCHDB(sf float64, customersPerSF int, seed int64) (*engine.DB, error) {
+	db := engine.NewDB()
+	d := tpch.Generate(tpch.Config{SF: sf, CustomersPerSF: customersPerSF, Seed: seed})
+	if err := d.Load(db); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// QuerySpec is one evaluation query of the paper's Table 2, adapted to this
+// engine's dialect and the scaled-down generator (normalizing divisors keep
+// the two grouping attributes in roughly [0,1] so the paper's ε values are
+// meaningful).
+type QuerySpec struct {
+	ID          string
+	Description string
+	SQL         string
+}
+
+// overlapSQL renders the ON-OVERLAP clause.
+func overlapSQL(ov core.Overlap) string {
+	switch ov {
+	case core.Eliminate:
+		return "ON-OVERLAP ELIMINATE"
+	case core.FormNewGroup:
+		return "ON-OVERLAP FORM-NEW-GROUP"
+	default:
+		return "ON-OVERLAP JOIN-ANY"
+	}
+}
+
+// GB1 is the paper's GB1 (TPC-H Q18 shape): large-volume customers through
+// an IN-subquery with HAVING, then an equality Group-By.
+func GB1() QuerySpec {
+	return QuerySpec{
+		ID:          "GB1",
+		Description: "large volume customers (Q18 shape, standard Group-By)",
+		SQL: `
+SELECT c_custkey, sum(o_totalprice)
+FROM customer, orders
+WHERE c_custkey = o_custkey
+  AND o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING sum(l_quantity) > 150)
+GROUP BY c_custkey`,
+	}
+}
+
+// SGB1 groups customers by similar (account balance, buying power) with
+// DISTANCE-TO-ALL; SGB2 is the DISTANCE-TO-ANY variant.
+func SGB1(eps float64, ov core.Overlap) QuerySpec {
+	return QuerySpec{
+		ID:          "SGB1",
+		Description: "customers with similar buying power and account balance (SGB-All)",
+		SQL: fmt.Sprintf(`
+SELECT max(ab), min(tp), max(tp), avg(ab), count(*)
+FROM (SELECT c_custkey AS ck, c_acctbal / 100.0 AS ab, sum(o_totalprice) / 30000.0 AS tp
+      FROM customer, orders
+      WHERE c_custkey = o_custkey AND c_acctbal > 100 AND o_totalprice > 30000
+      GROUP BY c_custkey, c_acctbal) AS r
+GROUP BY ab, tp DISTANCE-TO-ALL L2 WITHIN %g %s`, eps, overlapSQL(ov)),
+	}
+}
+
+// SGB2 is SGB1 with the DISTANCE-TO-ANY semantics.
+func SGB2(eps float64) QuerySpec {
+	return QuerySpec{
+		ID:          "SGB2",
+		Description: "customers with similar buying power and account balance (SGB-Any)",
+		SQL: fmt.Sprintf(`
+SELECT max(ab), min(tp), max(tp), avg(ab), count(*)
+FROM (SELECT c_custkey AS ck, c_acctbal / 100.0 AS ab, sum(o_totalprice) / 30000.0 AS tp
+      FROM customer, orders
+      WHERE c_custkey = o_custkey AND c_acctbal > 100 AND o_totalprice > 30000
+      GROUP BY c_custkey, c_acctbal) AS r
+GROUP BY ab, tp DISTANCE-TO-ANY L2 WITHIN %g`, eps),
+	}
+}
+
+// GB2 is the paper's GB2 (TPC-H Q9 shape): profit by supplier nation.
+func GB2() QuerySpec {
+	return QuerySpec{
+		ID:          "GB2",
+		Description: "profit on parts by supplier nation (Q9 shape, standard Group-By)",
+		SQL: `
+SELECT n_name, sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity)
+FROM lineitem, partsupp, supplier, nation
+WHERE ps_partkey = l_partkey AND ps_suppkey = l_suppkey
+  AND s_suppkey = l_suppkey AND s_nationkey = n_nationkey
+GROUP BY n_name`,
+	}
+}
+
+// SGB3 groups parts by similar (profit, shipment time) with DISTANCE-TO-ALL.
+func SGB3(eps float64, ov core.Overlap) QuerySpec {
+	return QuerySpec{
+		ID:          "SGB3",
+		Description: "parts with similar profit and shipment time (SGB-All)",
+		SQL: fmt.Sprintf(`
+SELECT count(*), sum(tprof), sum(stime)
+FROM (SELECT ps_partkey AS partkey,
+             sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) / 500000.0 AS tprof,
+             sum(l_receiptdate - l_shipdate) / 500.0 AS stime
+      FROM lineitem, partsupp
+      WHERE ps_partkey = l_partkey AND ps_suppkey = l_suppkey
+      GROUP BY ps_partkey) AS profit
+GROUP BY tprof, stime DISTANCE-ALL WITHIN %g USING ltwo %s`, eps, overlapSQL(ov)),
+	}
+}
+
+// SGB4 is SGB3 with the DISTANCE-TO-ANY semantics.
+func SGB4(eps float64) QuerySpec {
+	return QuerySpec{
+		ID:          "SGB4",
+		Description: "parts with similar profit and shipment time (SGB-Any)",
+		SQL: fmt.Sprintf(`
+SELECT count(*), sum(tprof), sum(stime)
+FROM (SELECT ps_partkey AS partkey,
+             sum(l_extendedprice * (1 - l_discount) - ps_supplycost * l_quantity) / 500000.0 AS tprof,
+             sum(l_receiptdate - l_shipdate) / 500.0 AS stime
+      FROM lineitem, partsupp
+      WHERE ps_partkey = l_partkey AND ps_suppkey = l_suppkey
+      GROUP BY ps_partkey) AS profit
+GROUP BY tprof, stime DISTANCE-ANY WITHIN %g USING ltwo`, eps),
+	}
+}
+
+// GB3 is the paper's GB3 (TPC-H Q15 shape): supplier revenue over a shipping
+// window.
+func GB3() QuerySpec {
+	return QuerySpec{
+		ID:          "GB3",
+		Description: "top supplier revenue (Q15 shape, standard Group-By)",
+		SQL: `
+SELECT l_suppkey, sum(l_extendedprice * (1 - l_discount))
+FROM lineitem
+WHERE l_shipdate > 9131 AND l_shipdate < 9500
+GROUP BY l_suppkey`,
+	}
+}
+
+// SGB5 groups suppliers by similar (revenue, account balance) with
+// DISTANCE-TO-ALL.
+func SGB5(eps float64, ov core.Overlap) QuerySpec {
+	return QuerySpec{
+		ID:          "SGB5",
+		Description: "suppliers with similar revenue and account balance (SGB-All)",
+		SQL: fmt.Sprintf(`
+SELECT count(*), sum(trevenue), sum(acctbal)
+FROM (SELECT l_suppkey AS suppkey,
+             sum(l_extendedprice * (1 - l_discount)) / 10000000.0 AS trevenue,
+             max(s_acctbal) / 10000.0 AS acctbal
+      FROM lineitem, supplier
+      WHERE s_suppkey = l_suppkey AND l_shipdate > 9131 AND l_shipdate < 9500
+      GROUP BY l_suppkey) AS r
+GROUP BY trevenue, acctbal DISTANCE-ALL WITHIN %g USING ltwo %s`, eps, overlapSQL(ov)),
+	}
+}
+
+// SGB6 is SGB5 with the DISTANCE-TO-ANY semantics.
+func SGB6(eps float64) QuerySpec {
+	return QuerySpec{
+		ID:          "SGB6",
+		Description: "suppliers with similar revenue and account balance (SGB-Any)",
+		SQL: fmt.Sprintf(`
+SELECT count(*), sum(trevenue), sum(acctbal)
+FROM (SELECT l_suppkey AS suppkey,
+             sum(l_extendedprice * (1 - l_discount)) / 10000000.0 AS trevenue,
+             max(s_acctbal) / 10000.0 AS acctbal
+      FROM lineitem, supplier
+      WHERE s_suppkey = l_suppkey AND l_shipdate > 9131 AND l_shipdate < 9500
+      GROUP BY l_suppkey) AS r
+GROUP BY trevenue, acctbal DISTANCE-ANY WITHIN %g USING ltwo`, eps),
+	}
+}
+
+// AllQueries returns the full Table 2 workload at the given ε and overlap
+// clause for the SGB-All queries.
+func AllQueries(eps float64, ov core.Overlap) []QuerySpec {
+	return []QuerySpec{
+		GB1(), SGB1(eps, ov), SGB2(eps),
+		GB2(), SGB3(eps, ov), SGB4(eps),
+		GB3(), SGB5(eps, ov), SGB6(eps),
+	}
+}

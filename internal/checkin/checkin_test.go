@@ -1,0 +1,132 @@
+package checkin
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sgb/internal/engine"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cs := Generate(Config{N: 5000, Seed: 1})
+	if len(cs) != 5000 {
+		t.Fatalf("generated %d check-ins", len(cs))
+	}
+	cfg := Config{}.withDefaults()
+	for _, c := range cs {
+		if c.Lat < cfg.Box[0] || c.Lat > cfg.Box[1] || c.Lon < cfg.Box[2] || c.Lon > cfg.Box[3] {
+			t.Fatalf("check-in outside bounding box: %+v", c)
+		}
+		if c.UserID < 1 {
+			t.Fatalf("bad user id %d", c.UserID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{N: 1000, Seed: 42})
+	b := Generate(Config{N: 1000, Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different data")
+	}
+	c := Generate(Config{N: 1000, Seed: 43})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+// TestSkewed verifies the defining property of the substitution: check-ins
+// concentrate in hotspots rather than spreading uniformly. We measure that
+// by gridding the box and checking that a small fraction of cells holds the
+// majority of points.
+func TestSkewed(t *testing.T) {
+	cfg := Config{N: 20000, Seed: 2}.withDefaults()
+	cs := Generate(cfg)
+	const grid = 40
+	cells := map[[2]int]int{}
+	for _, c := range cs {
+		gx := int(float64(grid) * (c.Lat - cfg.Box[0]) / (cfg.Box[1] - cfg.Box[0]))
+		gy := int(float64(grid) * (c.Lon - cfg.Box[2]) / (cfg.Box[3] - cfg.Box[2]))
+		if gx == grid {
+			gx--
+		}
+		if gy == grid {
+			gy--
+		}
+		cells[[2]int{gx, gy}]++
+	}
+	// Count points in the 5% most loaded cells.
+	var counts []int
+	for _, n := range cells {
+		counts = append(counts, n)
+	}
+	// Simple selection: top k cells.
+	k := grid * grid / 20
+	top := 0
+	for i := 0; i < k && len(counts) > 0; i++ {
+		best := 0
+		for j, n := range counts {
+			if n > counts[best] {
+				best = j
+			}
+		}
+		top += counts[best]
+		counts = append(counts[:best], counts[best+1:]...)
+	}
+	frac := float64(top) / float64(len(cs))
+	if frac < 0.5 {
+		t.Fatalf("data is not skewed: top 5%% of cells hold only %.1f%% of points", frac*100)
+	}
+}
+
+func TestPointsConversion(t *testing.T) {
+	cs := []Checkin{{UserID: 1, Lat: 30, Lon: -100}, {UserID: 2, Lat: 40, Lon: -90}}
+	pts := Points(cs)
+	if len(pts) != 2 || pts[0][0] != 30 || pts[1][1] != -90 {
+		t.Fatalf("points = %v", pts)
+	}
+}
+
+func TestLoadAndSGBQuery(t *testing.T) {
+	db := engine.NewDB()
+	cs := Generate(Config{N: 800, Hotspots: 5, Seed: 3})
+	if err := Load(db, "checkins", cs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+		SELECT count(*) FROM checkins
+		GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 0.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, r := range res.Rows {
+		total += r[0].I
+	}
+	if total != 800 {
+		t.Fatalf("SGB-Any group sizes sum to %d, want 800", total)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("expected several spatial groups, got %d", len(res.Rows))
+	}
+	// Clustered data: group count far below N.
+	if len(res.Rows) > 400 {
+		t.Fatalf("too many groups for clustered data: %d", len(res.Rows))
+	}
+	if math.IsNaN(float64(total)) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestCustomBoxAndUsers(t *testing.T) {
+	cs := Generate(Config{N: 500, Users: 10, Box: [4]float64{0, 1, 0, 1}, Seed: 4})
+	for _, c := range cs {
+		if c.UserID > 10 {
+			t.Fatalf("user id %d beyond population", c.UserID)
+		}
+		if c.Lat < 0 || c.Lat > 1 || c.Lon < 0 || c.Lon > 1 {
+			t.Fatalf("check-in outside custom box: %+v", c)
+		}
+	}
+}

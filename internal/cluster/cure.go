@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sgb/internal/geom"
+)
+
+// CUREResult is the outcome of a CURE run.
+type CUREResult struct {
+	// Assignments maps each input point to a cluster in [0, k).
+	Assignments []int
+	// Representatives holds, per cluster, the shrunken representative
+	// points used for the final assignment.
+	Representatives [][]geom.Point
+}
+
+// CURE implements the hierarchical clustering of Guha, Rastogi & Shim
+// (1998), cited by the paper's related work: clusters are summarized by a
+// set of well-scattered representative points shrunk toward the centroid by
+// factor alpha, and merged agglomeratively by closest representative pair
+// until k clusters remain. For tractability on large inputs the
+// agglomeration runs on a random sample (sampleSize; <=0 picks
+// min(n, 1000)), and the remaining points join the cluster of their nearest
+// representative — the partitioning shortcut the original paper also uses.
+func CURE(points []geom.Point, k, numReps int, alpha float64, sampleSize int, seed int64) (*CUREResult, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("cluster: k must be positive, got %d", k)
+	}
+	if numReps <= 0 {
+		return nil, fmt.Errorf("cluster: numReps must be positive, got %d", numReps)
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("cluster: shrink factor must be in [0,1], got %v", alpha)
+	}
+	res := &CUREResult{}
+	if len(points) == 0 {
+		return res, nil
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("cluster: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+	}
+	if sampleSize <= 0 {
+		sampleSize = 1000
+	}
+	if sampleSize > len(points) {
+		sampleSize = len(points)
+	}
+	if k > sampleSize {
+		k = sampleSize
+	}
+
+	r := rand.New(rand.NewSource(seed))
+	sample := r.Perm(len(points))[:sampleSize]
+
+	// Each sample point starts as its own cluster.
+	type cureCluster struct {
+		members  []int
+		centroid geom.Point
+		reps     []geom.Point
+	}
+	clusters := make([]*cureCluster, 0, sampleSize)
+	for _, idx := range sample {
+		clusters = append(clusters, &cureCluster{
+			members:  []int{idx},
+			centroid: points[idx].Clone(),
+			reps:     []geom.Point{points[idx].Clone()},
+		})
+	}
+
+	repDist := func(a, b *cureCluster) float64 {
+		best := math.Inf(1)
+		for _, pa := range a.reps {
+			for _, pb := range b.reps {
+				if d := geom.Dist(geom.L2, pa, pb); d < best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+
+	rebuildReps := func(c *cureCluster) {
+		// Centroid.
+		cen := make(geom.Point, dim)
+		for _, m := range c.members {
+			for d, v := range points[m] {
+				cen[d] += v
+			}
+		}
+		for d := range cen {
+			cen[d] /= float64(len(c.members))
+		}
+		c.centroid = cen
+		// Well-scattered representatives: farthest-point heuristic.
+		var reps []geom.Point
+		for len(reps) < numReps && len(reps) < len(c.members) {
+			var best geom.Point
+			bestD := -1.0
+			for _, m := range c.members {
+				p := points[m]
+				var d float64
+				if len(reps) == 0 {
+					d = geom.Dist(geom.L2, p, cen)
+				} else {
+					d = math.Inf(1)
+					for _, rp := range reps {
+						if dd := geom.Dist(geom.L2, p, rp); dd < d {
+							d = dd
+						}
+					}
+				}
+				if d > bestD {
+					bestD, best = d, p
+				}
+			}
+			reps = append(reps, best.Clone())
+		}
+		// Shrink toward the centroid.
+		for _, rp := range reps {
+			for d := range rp {
+				rp[d] += alpha * (cen[d] - rp[d])
+			}
+		}
+		c.reps = reps
+	}
+
+	// Agglomerate the closest pair until k clusters remain.
+	for len(clusters) > k {
+		bi, bj, bd := 0, 1, math.Inf(1)
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if d := repDist(clusters[i], clusters[j]); d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		clusters[bi].members = append(clusters[bi].members, clusters[bj].members...)
+		rebuildReps(clusters[bi])
+		clusters[bj] = clusters[len(clusters)-1]
+		clusters = clusters[:len(clusters)-1]
+	}
+
+	// Assign every point to the cluster of its nearest representative.
+	res.Assignments = make([]int, len(points))
+	res.Representatives = make([][]geom.Point, len(clusters))
+	for ci, c := range clusters {
+		res.Representatives[ci] = c.reps
+	}
+	for i, p := range points {
+		best, bd := 0, math.Inf(1)
+		for ci, c := range clusters {
+			for _, rp := range c.reps {
+				if d := geom.Dist(geom.L2, p, rp); d < bd {
+					best, bd = ci, d
+				}
+			}
+		}
+		res.Assignments[i] = best
+	}
+	return res, nil
+}

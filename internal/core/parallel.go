@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sgb/internal/geom"
+	"sgb/internal/unionfind"
+)
+
+// SGBAnyParallel computes the DISTANCE-TO-ANY grouping with a grid-partition
+// parallel algorithm — an extension beyond the paper (its evaluation is
+// single-threaded), exploiting that SGB-Any's output (the connected
+// components of the ε-neighbourhood graph) is order-free and therefore
+// embarrassingly decomposable:
+//
+//  1. Points are hashed into grid cells of side ε.
+//  2. Workers process cells concurrently; each point is compared against
+//     points in its own cell and in "forward" neighbour cells (offset
+//     lexicographically positive), so every pair is examined exactly once.
+//  3. Verified ε-edges are merged into a union-find forest; the components
+//     are the groups.
+//
+// The result is identical to SGBAny (which the tests assert). workers <= 0
+// selects GOMAXPROCS. Options.Algorithm is ignored.
+func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, error) {
+	opt.Overlap = JoinAny
+	opt.Algorithm = IndexBounds
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Result{}
+	if len(points) == 0 {
+		res.Stats.Rounds = 1
+		return res, nil
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("core: zero-dimensional point")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("core: point %d: %w", i, ErrDimensionMismatch)
+		}
+	}
+
+	// Build the grid: cell key -> member ids. Cell side = ε guarantees that
+	// any two points within ε (under any supported metric, since δ∞ ≤ δ)
+	// sit in the same or an adjacent cell.
+	type cellKey string
+	cellOf := func(p geom.Point) cellKey {
+		// A compact integer encoding of the per-axis cell coordinates.
+		buf := make([]byte, 0, dim*10)
+		for _, v := range p {
+			c := int64(v / opt.Eps)
+			if v < 0 && v != float64(c)*opt.Eps {
+				c-- // floor for negatives
+			}
+			buf = appendInt(buf, c)
+		}
+		return cellKey(buf)
+	}
+	coordsOf := func(p geom.Point) []int64 {
+		out := make([]int64, dim)
+		for i, v := range p {
+			c := int64(v / opt.Eps)
+			if v < 0 && v != float64(c)*opt.Eps {
+				c--
+			}
+			out[i] = c
+		}
+		return out
+	}
+	keyOfCoords := func(cs []int64) cellKey {
+		buf := make([]byte, 0, dim*10)
+		for _, c := range cs {
+			buf = appendInt(buf, c)
+		}
+		return cellKey(buf)
+	}
+
+	cells := make(map[cellKey][]int, len(points)/2+1)
+	var order []cellKey
+	for i, p := range points {
+		k := cellOf(p)
+		if _, ok := cells[k]; !ok {
+			order = append(order, k)
+		}
+		cells[k] = append(cells[k], i)
+	}
+
+	// Forward neighbour offsets: the lexicographically positive half of
+	// {-1,0,1}^dim \ {0}, so each unordered cell pair is visited once.
+	var offsets [][]int64
+	var gen func(prefix []int64)
+	gen = func(prefix []int64) {
+		if len(prefix) == dim {
+			for _, v := range prefix {
+				if v != 0 {
+					off := append([]int64(nil), prefix...)
+					offsets = append(offsets, off)
+					return
+				}
+			}
+			return
+		}
+		for _, v := range []int64{-1, 0, 1} {
+			gen(append(prefix, v))
+		}
+	}
+	gen(nil)
+	forward := offsets[:0]
+	for _, off := range offsets {
+		for _, v := range off {
+			if v > 0 {
+				forward = append(forward, off)
+				break
+			} else if v < 0 {
+				break
+			}
+		}
+	}
+
+	// Workers emit verified edges into per-worker buffers.
+	type edge struct{ a, b int32 }
+	edgeBufs := make([][]edge, workers)
+	var distComps int64
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []edge
+			var comps int64
+			for {
+				ci := atomic.AddInt64(&next, 1)
+				if ci >= int64(len(order)) {
+					break
+				}
+				key := order[ci]
+				members := cells[key]
+				// Intra-cell pairs.
+				for i := 0; i < len(members); i++ {
+					for j := i + 1; j < len(members); j++ {
+						comps++
+						if geom.Within(opt.Metric, points[members[i]], points[members[j]], opt.Eps) {
+							local = append(local, edge{int32(members[i]), int32(members[j])})
+						}
+					}
+				}
+				// Forward neighbour cells.
+				base := coordsOf(points[members[0]])
+				nb := make([]int64, dim)
+				for _, off := range forward {
+					for d := range nb {
+						nb[d] = base[d] + off[d]
+					}
+					other, ok := cells[keyOfCoords(nb)]
+					if !ok {
+						continue
+					}
+					for _, a := range members {
+						for _, b := range other {
+							comps++
+							if geom.Within(opt.Metric, points[a], points[b], opt.Eps) {
+								local = append(local, edge{int32(a), int32(b)})
+							}
+						}
+					}
+				}
+			}
+			edgeBufs[w] = local
+			atomic.AddInt64(&distComps, comps)
+		}(w)
+	}
+	wg.Wait()
+
+	uf := unionfind.New(len(points))
+	var merges int64
+	for _, buf := range edgeBufs {
+		for _, e := range buf {
+			if uf.Find(int(e.a)) != uf.Find(int(e.b)) {
+				uf.Union(int(e.a), int(e.b))
+				merges++
+			}
+		}
+	}
+	for _, ids := range uf.Groups() {
+		sort.Ints(ids)
+		res.Groups = append(res.Groups, Group{IDs: ids})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		return res.Groups[i].IDs[0] < res.Groups[j].IDs[0]
+	})
+	res.Stats = Stats{
+		Points:        len(points),
+		DistanceComps: distComps,
+		GroupsMerged:  merges,
+		Rounds:        1,
+	}
+	return res, nil
+}
+
+// appendInt appends a length-prefixed little-endian encoding of v, making
+// concatenated coordinates unambiguous.
+func appendInt(buf []byte, v int64) []byte {
+	u := uint64(v)
+	var tmp [8]byte
+	n := 0
+	for {
+		tmp[n] = byte(u)
+		n++
+		u >>= 8
+		if u == 0 || n == 8 {
+			break
+		}
+	}
+	buf = append(buf, byte(n))
+	return append(buf, tmp[:n]...)
+}

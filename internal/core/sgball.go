@@ -1,0 +1,455 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sgb/internal/geom"
+	"sgb/internal/hull"
+	"sgb/internal/rtree"
+)
+
+// allGroup is one live SGB-All group under construction.
+type allGroup struct {
+	id      int
+	members []int         // point ids, in insertion order
+	rect    *geom.EpsRect // ε-All bounding rectangle + member MBR
+	hull    *hull.Incremental
+	// treeRect is the rectangle currently stored for this group in the
+	// on-the-fly index. The stored rectangle is always a superset of the
+	// live ε-All rectangle (it is only refreshed when removals may grow
+	// the live one), so window queries never miss a relevant group.
+	treeRect geom.Rect
+	inTree   bool
+}
+
+// AllGrouper is a streaming SGB-All operator instance. Points are fed in
+// input order with Add and the final grouping is materialized by Finish.
+type AllGrouper struct {
+	opt    Options
+	dim    int
+	points []geom.Point
+
+	active []*allGroup // groups of the current grouping round
+	final  []*allGroup // groups sealed by earlier FORM-NEW-GROUP rounds
+	nextID int
+	tree   *rtree.Tree // IndexBounds only
+
+	deferred []int   // S′: points diverted by FORM-NEW-GROUP
+	dropped  []int   // points discarded by ELIMINATE
+	gidBuf   []int64 // scratch buffer for window-query results
+
+	stats    Stats
+	useHull  bool
+	finished bool
+}
+
+// NewAllGrouper returns a streaming SGB-All operator configured by opt.
+func NewAllGrouper(opt Options) (*AllGrouper, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return &AllGrouper{opt: opt}, nil
+}
+
+// Add feeds the next point, in input order, and returns its point id.
+// All points must share one dimensionality.
+func (g *AllGrouper) Add(p geom.Point) (int, error) {
+	if g.finished {
+		return 0, fmt.Errorf("core: Add after Finish")
+	}
+	if g.dim == 0 {
+		if len(p) == 0 {
+			return 0, fmt.Errorf("core: zero-dimensional point")
+		}
+		g.dim = len(p)
+		// The convex-hull refinement (Procedure 6) applies to the 2-D L2
+		// case — and equally to L1, whose distance-to-a-fixed-probe is
+		// also convex, so the farthest member from any probe is a hull
+		// vertex. Elsewhere the rectangle test is exact (L∞, or 1-D where
+		// the metrics coincide) or we fall back to exact member scans.
+		g.useHull = (g.opt.Metric == geom.L2 || g.opt.Metric == geom.L1) &&
+			g.dim == 2 && !g.opt.DisableHullRefine
+		if g.opt.Algorithm == IndexBounds {
+			g.tree = rtree.New(g.dim)
+		}
+	} else if len(p) != g.dim {
+		return 0, ErrDimensionMismatch
+	}
+	id := len(g.points)
+	g.points = append(g.points, p)
+	g.stats.Points++
+	g.processPoint(id)
+	return id, nil
+}
+
+// Finish runs the FORM-NEW-GROUP recursion over the deferred set S′ (if any)
+// and materializes the result. The grouper cannot be reused afterwards.
+func (g *AllGrouper) Finish() (*Result, error) {
+	if g.finished {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	g.finished = true
+	g.stats.Rounds = 1
+	for len(g.deferred) > 0 {
+		// Each round groups S′ against a fresh group universe: the points
+		// in S′ form new groups among themselves (Procedures 1 and 3).
+		// Progress is guaranteed: the ProcessOverlap removals only ever
+		// take the members of a group that are within ε of the probe and
+		// the OverlapGroups definition requires at least one member that
+		// is not, so no group is ever fully emptied; at least one group
+		// therefore survives every round and |S′| strictly decreases.
+		before := len(g.deferred)
+		g.final = append(g.final, g.active...)
+		g.active = nil
+		if g.opt.Algorithm == IndexBounds {
+			g.tree = rtree.New(g.dim)
+		}
+		round := g.deferred
+		g.deferred = nil
+		for _, id := range round {
+			g.processPoint(id)
+		}
+		g.stats.Rounds++
+		if len(g.deferred) >= before {
+			return nil, fmt.Errorf("core: FORM-NEW-GROUP made no progress (%d -> %d deferred)", before, len(g.deferred))
+		}
+	}
+	g.final = append(g.final, g.active...)
+	g.active = nil
+
+	res := &Result{Stats: g.stats}
+	for _, grp := range g.final {
+		if len(grp.members) == 0 {
+			continue
+		}
+		ids := append([]int(nil), grp.members...)
+		sort.Ints(ids)
+		res.Groups = append(res.Groups, Group{IDs: ids})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		return res.Groups[i].IDs[0] < res.Groups[j].IDs[0]
+	})
+	sort.Ints(g.dropped)
+	res.Dropped = g.dropped
+	return res, nil
+}
+
+// processPoint runs Procedure 1 for one point: find the candidate and
+// overlap groups, arbitrate membership, then apply the overlap semantics.
+func (g *AllGrouper) processPoint(id int) {
+	p := g.points[id]
+	var candidates, overlaps []*allGroup
+	switch g.opt.Algorithm {
+	case AllPairs:
+		candidates, overlaps = g.findAllPairs(p)
+	case BoundsChecking:
+		candidates, overlaps = g.findBounds(p)
+	case IndexBounds:
+		candidates, overlaps = g.findIndexed(p)
+	}
+
+	// ProcessGroupingALL (Procedure 3).
+	switch {
+	case len(candidates) == 0:
+		g.newGroup(id)
+	case len(candidates) == 1:
+		g.insert(candidates[0], id)
+	default:
+		switch g.opt.Overlap {
+		case JoinAny:
+			pick := candidates[0]
+			if g.opt.Rand != nil {
+				pick = candidates[g.opt.Rand.Intn(len(candidates))]
+			}
+			g.insert(pick, id)
+		case Eliminate:
+			g.dropped = append(g.dropped, id)
+		case FormNewGroup:
+			g.deferred = append(g.deferred, id)
+		}
+	}
+
+	if g.opt.Overlap != JoinAny && len(overlaps) > 0 {
+		g.processOverlap(p, overlaps)
+	}
+}
+
+// findAllPairs is Naive FindCloseGroupsALL (Procedure 2): evaluate the
+// similarity predicate between p and every previously grouped point.
+func (g *AllGrouper) findAllPairs(p geom.Point) (candidates, overlaps []*allGroup) {
+	joinAny := g.opt.Overlap == JoinAny
+	for _, grp := range g.active {
+		candidate, overlap := true, false
+		for _, m := range grp.members {
+			g.stats.DistanceComps++
+			if geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
+				overlap = true
+			} else {
+				candidate = false
+				if joinAny {
+					// JOIN-ANY never consults OverlapGroups, so the
+					// scan can stop at the first violation.
+					break
+				}
+			}
+		}
+		switch {
+		case candidate:
+			candidates = append(candidates, grp)
+		case !joinAny && overlap:
+			overlaps = append(overlaps, grp)
+		}
+	}
+	return candidates, overlaps
+}
+
+// findBounds is Bounds-Checking FindCloseGroups (Procedure 4): the ε-All
+// rectangle decides candidacy in constant time per group (exactly under L∞,
+// as a conservative filter refined by Procedure 6 under L2).
+func (g *AllGrouper) findBounds(p geom.Point) (candidates, overlaps []*allGroup) {
+	joinAny := g.opt.Overlap == JoinAny
+	var pBox geom.Rect
+	if !joinAny {
+		pBox = geom.BoxAround(p, g.opt.Eps)
+	}
+	for _, grp := range g.active {
+		g.stats.RectTests++
+		if grp.rect.ContainsPoint(p) {
+			if g.qualifies(grp, p) {
+				candidates = append(candidates, grp)
+				continue
+			}
+			// An L2 false positive of the rectangle filter can still
+			// partially overlap the group.
+			if !joinAny && g.anyWithin(grp, p) {
+				overlaps = append(overlaps, grp)
+			}
+			continue
+		}
+		if joinAny {
+			continue
+		}
+		// OverlapRectangleTest: p can only be within ε of some member if
+		// its ε-box reaches the group's member MBR.
+		g.stats.RectTests++
+		if pBox.Intersects(grp.rect.MBR()) && g.anyWithin(grp, p) {
+			overlaps = append(overlaps, grp)
+		}
+	}
+	return candidates, overlaps
+}
+
+// findIndexed is Index Bounds-Checking FindCloseGroups (Procedure 5): a
+// window query on Groups_IX prunes the group list before the per-group
+// rectangle tests.
+func (g *AllGrouper) findIndexed(p geom.Point) (candidates, overlaps []*allGroup) {
+	joinAny := g.opt.Overlap == JoinAny
+	pBox := geom.BoxAround(p, g.opt.Eps)
+	g.stats.WindowQueries++
+	gids := g.gidBuf[:0]
+	g.tree.Search(pBox, func(ref int64) bool {
+		gids = append(gids, ref)
+		return true
+	})
+	g.gidBuf = gids
+	// The R-tree reports matches in traversal order; sort for run-to-run
+	// determinism of the JOIN-ANY "first candidate" choice.
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		grp := g.groupByID(int(gid))
+		if grp == nil {
+			continue
+		}
+		g.stats.RectTests++
+		if grp.rect.ContainsPoint(p) {
+			if g.qualifies(grp, p) {
+				candidates = append(candidates, grp)
+				continue
+			}
+			if !joinAny && g.anyWithin(grp, p) {
+				overlaps = append(overlaps, grp)
+			}
+			continue
+		}
+		if joinAny {
+			continue
+		}
+		// The window query matched the (possibly stale, superset) indexed
+		// rectangle; the member MBR test prunes groups with no member near
+		// p before the exact scan, exactly as Bounds-Checking does.
+		g.stats.RectTests++
+		if pBox.Intersects(grp.rect.MBR()) && g.anyWithin(grp, p) {
+			overlaps = append(overlaps, grp)
+		}
+	}
+	return candidates, overlaps
+}
+
+// qualifies refines a positive ε-All rectangle test into an exact membership
+// decision. Under L∞ (and in 1-D, where the metrics coincide) the rectangle
+// is exact. Under 2-D L2 the convex hull test (Procedure 6) is used: a point
+// inside the hull is within ε of all members, and otherwise the hull vertex
+// farthest from p bounds the farthest member. Other dimensionalities fall
+// back to an exact member scan.
+func (g *AllGrouper) qualifies(grp *allGroup, p geom.Point) bool {
+	if g.opt.Metric == geom.LInf || g.dim == 1 {
+		return true
+	}
+	if grp.hull != nil {
+		g.stats.HullTests++
+		if grp.hull.Contains(p) {
+			return true
+		}
+		_, d := grp.hull.Farthest(g.opt.Metric, p)
+		g.stats.DistanceComps++
+		return d <= g.opt.Eps
+	}
+	return g.allWithin(grp, p)
+}
+
+// anyWithin reports whether any member of grp satisfies the predicate with p.
+func (g *AllGrouper) anyWithin(grp *allGroup, p geom.Point) bool {
+	for _, m := range grp.members {
+		g.stats.DistanceComps++
+		if geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
+			return true
+		}
+	}
+	return false
+}
+
+// allWithin reports whether every member of grp satisfies the predicate.
+func (g *AllGrouper) allWithin(grp *allGroup, p geom.Point) bool {
+	for _, m := range grp.members {
+		g.stats.DistanceComps++
+		if !geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *AllGrouper) groupByID(id int) *allGroup {
+	// Group ids are dense within a round; the active slice is indexed by
+	// creation order with ids offset by the first active id.
+	if len(g.active) == 0 {
+		return nil
+	}
+	first := g.active[0].id
+	idx := id - first
+	if idx < 0 || idx >= len(g.active) {
+		return nil
+	}
+	return g.active[idx]
+}
+
+func (g *AllGrouper) newGroup(id int) *allGroup {
+	p := g.points[id]
+	grp := &allGroup{
+		id:      g.nextID,
+		members: []int{id},
+		rect:    geom.NewEpsRect(p, g.opt.Eps),
+	}
+	g.nextID++
+	if g.useHull {
+		grp.hull = hull.NewIncremental(p)
+	}
+	g.active = append(g.active, grp)
+	if g.tree != nil {
+		grp.treeRect = grp.rect.Bound().Clone()
+		g.tree.Insert(grp.treeRect, int64(grp.id))
+		grp.inTree = true
+		g.stats.IndexUpdates++
+	}
+	return grp
+}
+
+// insert is ProcessInsert: add the point and shrink the ε-All rectangle.
+// The indexed rectangle is left untouched — it only ever needs to be a
+// superset of the live one, and insertions only shrink it.
+func (g *AllGrouper) insert(grp *allGroup, id int) {
+	p := g.points[id]
+	grp.members = append(grp.members, id)
+	grp.rect.Add(p)
+	if grp.hull != nil {
+		grp.hull.Add(p)
+	}
+}
+
+// processOverlap is ProcessOverlap (Procedure 1, line 5): the members of
+// each partially overlapping group that satisfy the predicate with p are
+// pulled out — discarded under ELIMINATE, diverted to S′ under
+// FORM-NEW-GROUP — and the group's summaries are rebuilt.
+func (g *AllGrouper) processOverlap(p geom.Point, overlaps []*allGroup) {
+	for _, grp := range overlaps {
+		keep := grp.members[:0]
+		var removed []int
+		for _, m := range grp.members {
+			g.stats.DistanceComps++
+			if geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
+				removed = append(removed, m)
+			} else {
+				keep = append(keep, m)
+			}
+		}
+		if len(removed) == 0 {
+			continue
+		}
+		grp.members = keep
+		switch g.opt.Overlap {
+		case Eliminate:
+			g.dropped = append(g.dropped, removed...)
+		case FormNewGroup:
+			g.deferred = append(g.deferred, removed...)
+		}
+		g.rebuildGroup(grp)
+	}
+}
+
+// rebuildGroup recomputes a group's rectangle and hull after removals. The
+// ε-All rectangle can legitimately grow, so the indexed rectangle must be
+// refreshed to stay a superset.
+func (g *AllGrouper) rebuildGroup(grp *allGroup) {
+	pts := make([]geom.Point, len(grp.members))
+	for i, m := range grp.members {
+		pts[i] = g.points[m]
+	}
+	if grp.inTree {
+		g.tree.Delete(grp.treeRect, int64(grp.id))
+		g.stats.IndexUpdates++
+		grp.inTree = false
+	}
+	if len(grp.members) == 0 {
+		// Unreachable per the OverlapGroups definition (see Finish), but
+		// kept so a future semantics tweak degrades gracefully.
+		grp.rect.Rebuild(nil)
+		return
+	}
+	grp.rect.Rebuild(pts)
+	if grp.hull != nil {
+		grp.hull.Rebuild(pts)
+	}
+	if g.tree != nil {
+		grp.treeRect = grp.rect.Bound().Clone()
+		g.tree.Insert(grp.treeRect, int64(grp.id))
+		grp.inTree = true
+		g.stats.IndexUpdates++
+	}
+}
+
+// SGBAll groups points with the DISTANCE-TO-ALL semantics in input order and
+// returns the final grouping. It is the batch convenience wrapper around
+// AllGrouper.
+func SGBAll(points []geom.Point, opt Options) (*Result, error) {
+	g, err := NewAllGrouper(opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		if _, err := g.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return g.Finish()
+}

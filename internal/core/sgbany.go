@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sgb/internal/geom"
+	"sgb/internal/rtree"
+	"sgb/internal/unionfind"
+)
+
+// AnyGrouper is a streaming SGB-Any operator instance (Procedure 7). Group
+// identity is tracked in a Union-Find forest: a new point unions with every
+// ε-neighbour, which transparently merges all candidate groups into one
+// (Procedure 9's MergeGroupsInsert).
+type AnyGrouper struct {
+	opt    Options
+	dim    int
+	points []geom.Point
+	uf     *unionfind.Forest
+	tree   *rtree.Tree // IndexBounds only (Points_IX)
+
+	stats    Stats
+	finished bool
+}
+
+// NewAnyGrouper returns a streaming SGB-Any operator configured by opt. The
+// Overlap clause is ignored: overlapping groups always merge. Supported
+// algorithms are AllPairs and IndexBounds; the rectangle formulation of
+// BoundsChecking does not apply to the distance-to-any semantics (§7.1) and
+// is rejected.
+func NewAnyGrouper(opt Options) (*AnyGrouper, error) {
+	opt.Overlap = JoinAny // irrelevant for SGB-Any; normalize for Validate
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Algorithm == BoundsChecking {
+		return nil, fmt.Errorf("core: SGB-Any has no Bounds-Checking variant (use AllPairs or IndexBounds)")
+	}
+	return &AnyGrouper{opt: opt, uf: &unionfind.Forest{}}, nil
+}
+
+// Add feeds the next point, in input order, and returns its point id.
+func (g *AnyGrouper) Add(p geom.Point) (int, error) {
+	if g.finished {
+		return 0, fmt.Errorf("core: Add after Finish")
+	}
+	if g.dim == 0 {
+		if len(p) == 0 {
+			return 0, fmt.Errorf("core: zero-dimensional point")
+		}
+		g.dim = len(p)
+		if g.opt.Algorithm == IndexBounds {
+			g.tree = rtree.New(g.dim)
+		}
+	} else if len(p) != g.dim {
+		return 0, ErrDimensionMismatch
+	}
+	id := len(g.points)
+	g.points = append(g.points, p)
+	g.uf.MakeSet()
+	g.stats.Points++
+
+	switch g.opt.Algorithm {
+	case AllPairs:
+		// Naive FindCandidateGroups: probe every processed point.
+		for q := 0; q < id; q++ {
+			g.stats.DistanceComps++
+			if geom.Within(g.opt.Metric, p, g.points[q], g.opt.Eps) {
+				g.union(id, q)
+			}
+		}
+	case IndexBounds:
+		// FindCandidateGroups (Procedure 8): a window query on Points_IX
+		// retrieves the points within ε under L∞ exactly; under L2 the
+		// box is a conservative filter and VerifyPoints re-checks each
+		// hit with the exact distance.
+		pBox := geom.BoxAround(p, g.opt.Eps)
+		g.stats.WindowQueries++
+		verify := g.opt.Metric != geom.LInf // box hits are exact under L∞ only
+		g.tree.Search(pBox, func(ref int64) bool {
+			q := int(ref)
+			if verify {
+				g.stats.DistanceComps++
+				if !geom.Within(g.opt.Metric, p, g.points[q], g.opt.Eps) {
+					return true
+				}
+			}
+			g.union(id, q)
+			return true
+		})
+		g.tree.Insert(geom.PointRect(p), int64(id))
+		g.stats.IndexUpdates++
+	}
+	return id, nil
+}
+
+// union merges the groups of a and b, counting actual merges.
+func (g *AnyGrouper) union(a, b int) {
+	if g.uf.Find(a) != g.uf.Find(b) {
+		g.stats.GroupsMerged++
+		g.uf.Union(a, b)
+	}
+}
+
+// Finish materializes the connected components as groups. The grouper cannot
+// be reused afterwards.
+func (g *AnyGrouper) Finish() (*Result, error) {
+	if g.finished {
+		return nil, fmt.Errorf("core: Finish called twice")
+	}
+	g.finished = true
+	g.stats.Rounds = 1
+	res := &Result{Stats: g.stats}
+	for _, ids := range g.uf.Groups() {
+		sort.Ints(ids)
+		res.Groups = append(res.Groups, Group{IDs: ids})
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		return res.Groups[i].IDs[0] < res.Groups[j].IDs[0]
+	})
+	return res, nil
+}
+
+// SGBAny groups points with the DISTANCE-TO-ANY semantics in input order and
+// returns the final grouping. It is the batch convenience wrapper around
+// AnyGrouper.
+func SGBAny(points []geom.Point, opt Options) (*Result, error) {
+	g, err := NewAnyGrouper(opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		if _, err := g.Add(p); err != nil {
+			return nil, err
+		}
+	}
+	return g.Finish()
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sgb/internal/geom"
+	"sgb/internal/unionfind"
+)
+
+// TestFigure2Any reproduces Example 2: a5 bridges both groups, so SGB-Any
+// outputs one group of 5.
+func TestFigure2Any(t *testing.T) {
+	for _, alg := range []Algorithm{AllPairs, IndexBounds} {
+		res, err := SGBAny(figure2Points(), Options{Metric: geom.LInf, Eps: 3, Algorithm: alg})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if len(res.Groups) != 1 || len(res.Groups[0].IDs) != 5 {
+			t.Errorf("%v: groups = %v, want one group of 5", alg, res.Groups)
+		}
+	}
+}
+
+// TestFigure1Chain reproduces Figure 1b: a chain a–h connected pairwise
+// within ε=3 forms a single SGB-Any group even though the extremes are far
+// apart.
+func TestFigure1Chain(t *testing.T) {
+	pts := []geom.Point{
+		{1, 1}, {3.5, 1}, {6, 1}, {8.5, 1}, {11, 1}, {13.5, 1}, {16, 1}, {18.5, 1},
+	}
+	for _, m := range []geom.Metric{geom.LInf, geom.L2, geom.L1} {
+		for _, alg := range []Algorithm{AllPairs, IndexBounds} {
+			res, err := SGBAny(pts, Options{Metric: m, Eps: 3, Algorithm: alg})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m, alg, err)
+			}
+			if len(res.Groups) != 1 || len(res.Groups[0].IDs) != len(pts) {
+				t.Errorf("%v/%v: groups = %v, want one chain group", m, alg, res.Groups)
+			}
+		}
+	}
+	// An SGB-All on the same chain must not produce a single clique.
+	resAll, err := SGBAll(pts, Options{Metric: geom.LInf, Eps: 3, Overlap: JoinAny, Algorithm: AllPairs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resAll.Groups) == 1 {
+		t.Error("SGB-All grouped a long chain into one clique")
+	}
+}
+
+// referenceComponents computes the connected components of the
+// ε-neighbourhood graph by brute force.
+func referenceComponents(pts []geom.Point, m geom.Metric, eps float64) []Group {
+	uf := unionfind.New(len(pts))
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if geom.Within(m, pts[i], pts[j], eps) {
+				uf.Union(i, j)
+			}
+		}
+	}
+	var groups []Group
+	for _, ids := range uf.Groups() {
+		groups = append(groups, Group{IDs: ids})
+	}
+	sortGroups(groups)
+	return groups
+}
+
+func sortGroups(groups []Group) {
+	for i := range groups {
+		ids := groups[i].IDs
+		for j := 1; j < len(ids); j++ {
+			for k := j; k > 0 && ids[k] < ids[k-1]; k-- {
+				ids[k], ids[k-1] = ids[k-1], ids[k]
+			}
+		}
+	}
+	for i := 1; i < len(groups); i++ {
+		for j := i; j > 0 && groups[j].IDs[0] < groups[j-1].IDs[0]; j-- {
+			groups[j], groups[j-1] = groups[j-1], groups[j]
+		}
+	}
+}
+
+// TestAnyMatchesConnectedComponents is the defining SGB-Any property: the
+// output must equal the connected components of the ε-neighbourhood graph,
+// independent of insertion order and algorithm.
+func TestAnyMatchesConnectedComponents(t *testing.T) {
+	r := rand.New(rand.NewSource(60))
+	for _, m := range []geom.Metric{geom.LInf, geom.L2, geom.L1} {
+		for _, dim := range []int{1, 2, 3} {
+			for trial := 0; trial < 10; trial++ {
+				n := 30 + r.Intn(200)
+				eps := 0.3 + r.Float64()
+				pts := randomPoints(r, n, dim, 10)
+				want := referenceComponents(pts, m, eps)
+				for _, alg := range []Algorithm{AllPairs, IndexBounds} {
+					res, err := SGBAny(pts, Options{Metric: m, Eps: eps, Algorithm: alg})
+					if err != nil {
+						t.Fatalf("%v/%v: %v", m, alg, err)
+					}
+					if !reflect.DeepEqual(res.Groups, want) {
+						t.Fatalf("%v/%v/dim%d: SGB-Any disagrees with connected components", m, alg, dim)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAnyOrderInvariance: unlike SGB-All, the SGB-Any grouping is invariant
+// under input permutation (connected components are order-free).
+func TestAnyOrderInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	pts := randomPoints(r, 120, 2, 8)
+	base, err := SGBAny(pts, Options{Metric: geom.L2, Eps: 0.8, Algorithm: IndexBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shuffle, regroup, and map ids back through the permutation.
+	perm := r.Perm(len(pts))
+	shuffled := make([]geom.Point, len(pts))
+	for i, p := range perm {
+		shuffled[p] = pts[i] // shuffled[p] holds original point i
+	}
+	res, err := SGBAny(shuffled, Options{Metric: geom.L2, Eps: 0.8, Algorithm: IndexBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remapped := make([]Group, len(res.Groups))
+	for i, g := range res.Groups {
+		ids := make([]int, len(g.IDs))
+		for j, id := range g.IDs {
+			// shuffled[id] was original point inv(id).
+			for orig, pos := range perm {
+				if pos == id {
+					ids[j] = orig
+					break
+				}
+			}
+		}
+		remapped[i] = Group{IDs: ids}
+	}
+	sortGroups(remapped)
+	if !reflect.DeepEqual(base.Groups, remapped) {
+		t.Fatal("SGB-Any grouping changed under input permutation")
+	}
+}
+
+func TestAnyRejectsBoundsChecking(t *testing.T) {
+	if _, err := SGBAny(nil, Options{Metric: geom.L2, Eps: 1, Algorithm: BoundsChecking}); err == nil {
+		t.Fatal("SGB-Any accepted the Bounds-Checking algorithm")
+	}
+}
+
+func TestAnyDegenerateInputs(t *testing.T) {
+	for _, alg := range []Algorithm{AllPairs, IndexBounds} {
+		res, err := SGBAny(nil, Options{Metric: geom.L2, Eps: 1, Algorithm: alg})
+		if err != nil || len(res.Groups) != 0 {
+			t.Fatalf("%v: empty input: %v %v", alg, res, err)
+		}
+		res, err = SGBAny([]geom.Point{{1, 2}}, Options{Metric: geom.L2, Eps: 1, Algorithm: alg})
+		if err != nil || len(res.Groups) != 1 {
+			t.Fatalf("%v: singleton input: %v %v", alg, res, err)
+		}
+	}
+}
+
+func TestAnyLifecycleErrors(t *testing.T) {
+	g, err := NewAnyGrouper(Options{Metric: geom.L2, Eps: 1, Algorithm: IndexBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(geom.Point{}); err == nil {
+		t.Error("accepted zero-dimensional point")
+	}
+	if _, err := g.Add(geom.Point{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(geom.Point{0, 0, 0}); err != ErrDimensionMismatch {
+		t.Errorf("dimension mismatch error = %v", err)
+	}
+	if _, err := g.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Add(geom.Point{1, 1}); err == nil {
+		t.Error("Add after Finish succeeded")
+	}
+	if _, err := g.Finish(); err == nil {
+		t.Error("double Finish succeeded")
+	}
+}
+
+// TestAnyMergeStats: merging k chains into one group performs k-1 merges.
+func TestAnyMergeStats(t *testing.T) {
+	// Three separate pairs, then one point connecting all of them.
+	pts := []geom.Point{
+		{0, 0}, {1, 0},
+		{10, 0}, {11, 0},
+		{5, 8}, {5, 9},
+		{5, 2}, // within 6 (LInf) of one point of each pair? Check below.
+	}
+	res, err := SGBAny(pts, Options{Metric: geom.LInf, Eps: 6, Algorithm: IndexBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %v", res.Groups)
+	}
+	if res.Stats.GroupsMerged == 0 {
+		t.Fatal("no merges recorded")
+	}
+}
+
+// TestAnyL2VerifyStep: under L2 the window query needs the verify pass;
+// a point at LInf distance < eps but L2 distance > eps must not connect.
+func TestAnyL2VerifyStep(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {4, 4}}
+	res, err := SGBAny(pts, Options{Metric: geom.L2, Eps: 5, Algorithm: IndexBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("L2 verify step missed a false positive: %v", res.Groups)
+	}
+	res, err = SGBAny(pts, Options{Metric: geom.LInf, Eps: 5, Algorithm: IndexBounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("LInf window query should connect the pair: %v", res.Groups)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"sgb/internal/geom"
+	"sgb/internal/hull"
+)
+
+// GroupSummary describes one output group geometrically — the material the
+// paper's application queries surface per group (coverage polygons for
+// MANETs, areas for geo-social groups).
+type GroupSummary struct {
+	// Size is the member count.
+	Size int
+	// Centroid is the member mean.
+	Centroid geom.Point
+	// MBR is the members' minimum bounding rectangle.
+	MBR geom.Rect
+	// Hull is the convex hull polygon (counter-clockwise); only populated
+	// for 2-D groups.
+	Hull []geom.Point
+	// Diameter is the largest pairwise member distance under the metric
+	// the summary was computed with. For SGB-All groups it never exceeds ε.
+	Diameter float64
+}
+
+// Summarize computes per-group geometric summaries for a grouping result
+// over its input points, in the result's group order. For 2-D inputs the
+// diameter is computed over the hull vertices (the farthest pair is always
+// a hull pair); other dimensionalities fall back to all member pairs.
+func Summarize(points []geom.Point, res *Result, m geom.Metric) ([]GroupSummary, error) {
+	out := make([]GroupSummary, 0, len(res.Groups))
+	for _, g := range res.Groups {
+		if len(g.IDs) == 0 {
+			return nil, fmt.Errorf("core: empty group in result")
+		}
+		for _, id := range g.IDs {
+			if id < 0 || id >= len(points) {
+				return nil, fmt.Errorf("core: group references point %d outside the input", id)
+			}
+		}
+		dim := len(points[g.IDs[0]])
+		s := GroupSummary{
+			Size:     len(g.IDs),
+			Centroid: make(geom.Point, dim),
+			MBR:      geom.PointRect(points[g.IDs[0]]),
+		}
+		members := make([]geom.Point, len(g.IDs))
+		for i, id := range g.IDs {
+			p := points[id]
+			members[i] = p
+			for d, v := range p {
+				s.Centroid[d] += v
+			}
+			s.MBR = s.MBR.Expand(p)
+		}
+		for d := range s.Centroid {
+			s.Centroid[d] /= float64(len(g.IDs))
+		}
+		if dim == 2 {
+			s.Hull = hull.Compute(members)
+			s.Diameter = hull.Diameter(m, s.Hull)
+		} else {
+			for i := 0; i < len(members); i++ {
+				for j := i + 1; j < len(members); j++ {
+					if d := geom.Dist(m, members[i], members[j]); d > s.Diameter {
+						s.Diameter = d
+					}
+				}
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is an in-memory heap relation, optionally carrying secondary hash
+// indexes over single columns.
+type Table struct {
+	Name    string
+	Schema  Schema
+	Rows    []Row
+	Indexes []*Index
+}
+
+// Catalog maps table and view names (case-insensitive) to their
+// definitions. Tables and views share one namespace.
+type Catalog struct {
+	tables map[string]*Table
+	views  map[string]*SelectStmt
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table), views: make(map[string]*SelectStmt)}
+}
+
+// CreateView registers a named view over a SELECT definition.
+func (c *Catalog) CreateView(name string, query *SelectStmt) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("engine: a table named %q already exists", name)
+	}
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("engine: view %q already exists", name)
+	}
+	c.views[key] = query
+	return nil
+}
+
+// View looks a view definition up by name.
+func (c *Catalog) View(name string) (*SelectStmt, bool) {
+	v, ok := c.views[strings.ToLower(name)]
+	return v, ok
+}
+
+// DropView removes a view; it reports whether one existed.
+func (c *Catalog) DropView(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := c.views[key]; !ok {
+		return false
+	}
+	delete(c.views, key)
+	return true
+}
+
+// Create registers a new empty table. Column qualifiers are forced to the
+// table name.
+func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	if _, ok := c.views[key]; ok {
+		return nil, fmt.Errorf("engine: a view named %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema.Qualify(name)}
+	c.tables[key] = t
+	return t, nil
+}
+
+// Drop removes a table; it is not an error to drop a missing table.
+func (c *Catalog) Drop(name string) {
+	delete(c.tables, strings.ToLower(name))
+}
+
+// Get looks a table up by name.
+func (c *Catalog) Get(name string) (*Table, error) {
+	t, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Names lists the catalog's table names (unordered).
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Insert appends rows after checking arity and coercing ints to declared
+// float columns (the one implicit conversion the engine performs).
+func (t *Table) Insert(rows ...Row) error {
+	for _, r := range rows {
+		if len(r) != len(t.Schema) {
+			return fmt.Errorf("engine: row arity %d does not match table %s (%d columns)",
+				len(r), t.Name, len(t.Schema))
+		}
+		for i, v := range r {
+			switch {
+			case v.IsNull():
+			case t.Schema[i].T == TypeFloat && v.T == TypeInt:
+				r[i] = NewFloat(float64(v.I))
+			case v.T != t.Schema[i].T:
+				return fmt.Errorf("engine: column %s.%s expects %s, got %s",
+					t.Name, t.Schema[i].Name, t.Schema[i].T, v.T)
+			}
+		}
+		t.Rows = append(t.Rows, r)
+		for _, ix := range t.Indexes {
+			ix.addRow(t, len(t.Rows)-1)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CopyStmt is a parsed COPY <table> FROM '<path>' (CSV with a header row,
+// the format cmd/datagen writes).
+type CopyStmt struct {
+	Table string
+	Path  string
+}
+
+func (*CopyStmt) stmt() {}
+
+// copyFromCSV bulk-loads a CSV file into an existing table. The header row
+// must name the table's columns (any order); values are parsed according to
+// the declared column types, with empty fields loading as NULL.
+func copyFromCSV(t *Table, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("engine: COPY: %w", err)
+	}
+	defer f.Close()
+	return copyFromReader(t, f)
+}
+
+// copyFromReader is the io.Reader core of COPY, split out for testability.
+func copyFromReader(t *Table, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("engine: COPY: reading header: %w", err)
+	}
+	// Map CSV columns onto table columns.
+	colIdx := make([]int, len(header))
+	seen := make([]bool, len(t.Schema))
+	for i, name := range header {
+		idx := -1
+		for j, c := range t.Schema {
+			if strings.EqualFold(c.Name, strings.TrimSpace(name)) {
+				idx = j
+				break
+			}
+		}
+		if idx == -1 {
+			return 0, fmt.Errorf("engine: COPY: header column %q not in table %s", name, t.Name)
+		}
+		if seen[idx] {
+			return 0, fmt.Errorf("engine: COPY: duplicate header column %q", name)
+		}
+		seen[idx] = true
+		colIdx[i] = idx
+	}
+	for j, ok := range seen {
+		if !ok {
+			return 0, fmt.Errorf("engine: COPY: header is missing column %q", t.Schema[j].Name)
+		}
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, fmt.Errorf("engine: COPY: row %d: %w", n+2, err)
+		}
+		row := make(Row, len(t.Schema))
+		for i, field := range rec {
+			v, err := parseCSVValue(field, t.Schema[colIdx[i]].T)
+			if err != nil {
+				return n, fmt.Errorf("engine: COPY: row %d, column %q: %w", n+2, header[i], err)
+			}
+			row[colIdx[i]] = v
+		}
+		if err := t.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+func parseCSVValue(field string, typ Type) (Value, error) {
+	if field == "" || strings.EqualFold(field, "null") {
+		return Null, nil
+	}
+	switch typ {
+	case TypeInt:
+		i, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Null, err
+		}
+		return NewInt(i), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Null, err
+		}
+		return NewFloat(f), nil
+	case TypeBool:
+		b, err := strconv.ParseBool(field)
+		if err != nil {
+			return Null, err
+		}
+		return NewBool(b), nil
+	default:
+		return NewString(field), nil
+	}
+}

@@ -1,0 +1,309 @@
+package engine
+
+import (
+	"fmt"
+
+	"sgb/internal/core"
+)
+
+// DB is the engine's top-level handle: a catalog plus session settings.
+// It is not safe for concurrent use; callers requiring concurrency should
+// synchronize externally (the benchmark harness and examples are
+// single-threaded, like the paper's single-session measurements).
+type DB struct {
+	cat    *Catalog
+	sgbAlg core.Algorithm
+
+	// lastSGBStats holds the cost counters of the most recent SGB operator
+	// execution, when the last statement contained one.
+	lastSGBStats *core.Stats
+}
+
+// NewDB returns an empty database. The SGB physical algorithm defaults to
+// the on-the-fly index, the paper's best-performing variant.
+func NewDB() *DB {
+	return &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds}
+}
+
+// Catalog exposes the table catalog for programmatic loading (the data
+// generators bypass SQL INSERT for bulk loads).
+func (db *DB) Catalog() *Catalog { return db.cat }
+
+// SetSGBAlgorithm selects the physical implementation used by subsequent
+// similarity group-by executions (All-Pairs, Bounds-Checking, or the
+// on-the-fly index). It is the engine-level switch the benchmark harness
+// flips between the paper's algorithm variants.
+func (db *DB) SetSGBAlgorithm(a core.Algorithm) { db.sgbAlg = a }
+
+// SGBAlgorithm reports the currently selected SGB implementation.
+func (db *DB) SGBAlgorithm() core.Algorithm { return db.sgbAlg }
+
+// LastSGBStats returns the core operator counters from the most recent
+// statement that executed a similarity group-by, or nil.
+func (db *DB) LastSGBStats() *core.Stats { return db.lastSGBStats }
+
+// Result is a materialized statement result.
+type Result struct {
+	// Columns names the output columns (empty for DDL/DML).
+	Columns []string
+	// Rows holds the output tuples.
+	Rows []Row
+	// RowsAffected counts rows inserted, updated, deleted or copied by DML.
+	RowsAffected int
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt)
+}
+
+// ExecStmt executes an already parsed statement.
+func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
+	switch stmt := stmt.(type) {
+	case *CreateTableStmt:
+		if _, err := db.cat.Create(stmt.Name, stmt.Columns); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *DropTableStmt:
+		db.cat.Drop(stmt.Name)
+		return &Result{}, nil
+
+	case *CreateViewStmt:
+		// Validate the definition eagerly so broken views fail at
+		// creation, not first use.
+		pc := &planContext{db: db}
+		if _, err := pc.planSelect(stmt.Query); err != nil {
+			return nil, fmt.Errorf("engine: invalid view definition: %w", err)
+		}
+		if err := db.cat.CreateView(stmt.Name, stmt.Query); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *DropViewStmt:
+		if !db.cat.DropView(stmt.Name) {
+			return nil, fmt.Errorf("engine: unknown view %q", stmt.Name)
+		}
+		return &Result{}, nil
+
+	case *InsertStmt:
+		t, err := db.cat.Get(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{}
+		if stmt.Query != nil {
+			pc := &planContext{db: db}
+			rows, _, err := pc.run(stmt.Query)
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				if err := t.Insert(row.Clone()); err != nil {
+					return nil, err
+				}
+				res.RowsAffected++
+			}
+			return res, nil
+		}
+		for _, exprs := range stmt.Rows {
+			row := make(Row, len(exprs))
+			for i, e := range exprs {
+				f, err := compileExpr(e, nil, nil)
+				if err != nil {
+					return nil, fmt.Errorf("engine: INSERT values must be constants: %w", err)
+				}
+				if row[i], err = f(nil); err != nil {
+					return nil, err
+				}
+			}
+			if err := t.Insert(row); err != nil {
+				return nil, err
+			}
+			res.RowsAffected++
+		}
+		return res, nil
+
+	case *UpdateStmt:
+		t, err := db.cat.Get(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		var pred evalFn
+		if stmt.Where != nil {
+			pc := &planContext{db: db}
+			if pred, err = compileExpr(stmt.Where, t.Schema, pc); err != nil {
+				return nil, err
+			}
+		}
+		type assign struct {
+			col int
+			fn  evalFn
+		}
+		assigns := make([]assign, len(stmt.Set))
+		for i, sc := range stmt.Set {
+			col, err := t.Schema.Resolve("", sc.Column)
+			if err != nil {
+				return nil, err
+			}
+			pc := &planContext{db: db}
+			fn, err := compileExpr(sc.Value, t.Schema, pc)
+			if err != nil {
+				return nil, err
+			}
+			assigns[i] = assign{col: col, fn: fn}
+		}
+		res := &Result{}
+		for ri, row := range t.Rows {
+			if pred != nil {
+				v, err := pred(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.Truthy() {
+					continue
+				}
+			}
+			// Evaluate all assignments against the pre-update row, then
+			// apply — SQL's simultaneous-assignment semantics.
+			newVals := make([]Value, len(assigns))
+			for i, a := range assigns {
+				v, err := a.fn(row)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() {
+					want := t.Schema[a.col].T
+					if want == TypeFloat && v.T == TypeInt {
+						v = NewFloat(float64(v.I))
+					} else if v.T != want {
+						return nil, fmt.Errorf("engine: UPDATE column %s expects %s, got %s",
+							t.Schema[a.col].Name, want, v.T)
+					}
+				}
+				newVals[i] = v
+			}
+			updated := row.Clone()
+			for i, a := range assigns {
+				updated[a.col] = newVals[i]
+			}
+			t.Rows[ri] = updated
+			res.RowsAffected++
+		}
+		if res.RowsAffected > 0 {
+			t.invalidateIndexes()
+		}
+		return res, nil
+
+	case *DeleteStmt:
+		t, err := db.cat.Get(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		if stmt.Where == nil {
+			n := len(t.Rows)
+			t.Rows = nil
+			t.invalidateIndexes()
+			return &Result{RowsAffected: n}, nil
+		}
+		pc := &planContext{db: db}
+		pred, err := compileExpr(stmt.Where, t.Schema, pc)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{}
+		keep := t.Rows[:0]
+		for _, row := range t.Rows {
+			v, err := pred(row)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				res.RowsAffected++
+			} else {
+				keep = append(keep, row)
+			}
+		}
+		t.Rows = keep
+		if res.RowsAffected > 0 {
+			t.invalidateIndexes()
+		}
+		return res, nil
+
+	case *CreateIndexStmt:
+		t, err := db.cat.Get(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := t.CreateIndex(stmt.Name, stmt.Column); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *DropIndexStmt:
+		t, err := db.cat.Get(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		if !t.DropIndex(stmt.Name) {
+			return nil, fmt.Errorf("engine: no index %q on table %s", stmt.Name, stmt.Table)
+		}
+		return &Result{}, nil
+
+	case *CopyStmt:
+		t, err := db.cat.Get(stmt.Table)
+		if err != nil {
+			return nil, err
+		}
+		n, err := copyFromCSV(t, stmt.Path)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: n}, nil
+
+	case *ExplainStmt:
+		pc := &planContext{db: db}
+		op, err := pc.planSelect(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"plan"}}
+		for _, line := range explainPlan(op) {
+			res.Rows = append(res.Rows, Row{NewString(line)})
+		}
+		return res, nil
+
+	case *SelectStmt:
+		pc := &planContext{db: db}
+		rows, sch, err := pc.run(stmt)
+		if err != nil {
+			return nil, err
+		}
+		if n := len(pc.sgbOps); n > 0 {
+			stats := pc.sgbOps[n-1].lastStats
+			db.lastSGBStats = &stats
+		} else {
+			db.lastSGBStats = nil
+		}
+		return &Result{Columns: sch.Names(), Rows: rows}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// Query is a convenience wrapper asserting the statement is a SELECT.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := stmt.(*SelectStmt); !ok {
+		return nil, fmt.Errorf("engine: Query expects a SELECT statement")
+	}
+	return db.ExecStmt(stmt)
+}

@@ -1,0 +1,635 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sgb/internal/core"
+	"sgb/internal/geom"
+)
+
+// operator is the Volcano iterator interface: open, a stream of next calls
+// terminated by io.EOF, then close.
+type operator interface {
+	schema() Schema
+	open() error
+	next() (Row, error)
+	close() error
+}
+
+// drain runs an operator to completion and materializes its output.
+func drain(op operator) ([]Row, error) {
+	if err := op.open(); err != nil {
+		return nil, err
+	}
+	defer op.close()
+	var rows []Row
+	for {
+		r, err := op.next()
+		if err == io.EOF {
+			return rows, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+}
+
+// ---- scan ----
+
+type scanOp struct {
+	table *Table
+	sch   Schema
+	pos   int
+}
+
+func newScanOp(t *Table, alias string) *scanOp {
+	sch := t.Schema
+	if alias != "" {
+		sch = t.Schema.Qualify(alias)
+	}
+	return &scanOp{table: t, sch: sch}
+}
+
+func (s *scanOp) schema() Schema { return s.sch }
+func (s *scanOp) open() error    { s.pos = 0; return nil }
+func (s *scanOp) close() error   { return nil }
+
+func (s *scanOp) next() (Row, error) {
+	if s.pos >= len(s.table.Rows) {
+		return nil, io.EOF
+	}
+	r := s.table.Rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// ---- materialized relation (derived tables, sorts) ----
+
+type valuesOp struct {
+	sch  Schema
+	rows []Row
+	pos  int
+}
+
+func (v *valuesOp) schema() Schema { return v.sch }
+func (v *valuesOp) open() error    { v.pos = 0; return nil }
+func (v *valuesOp) close() error   { return nil }
+
+func (v *valuesOp) next() (Row, error) {
+	if v.pos >= len(v.rows) {
+		return nil, io.EOF
+	}
+	r := v.rows[v.pos]
+	v.pos++
+	return r, nil
+}
+
+// singleRowOp yields one empty row: the source for FROM-less SELECTs.
+func singleRowOp() *valuesOp { return &valuesOp{rows: []Row{{}}} }
+
+// ---- filter ----
+
+type filterOp struct {
+	child operator
+	pred  evalFn
+}
+
+func (f *filterOp) schema() Schema { return f.child.schema() }
+func (f *filterOp) open() error    { return f.child.open() }
+func (f *filterOp) close() error   { return f.child.close() }
+
+func (f *filterOp) next() (Row, error) {
+	for {
+		r, err := f.child.next()
+		if err != nil {
+			return nil, err
+		}
+		v, err := f.pred(r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			return r, nil
+		}
+	}
+}
+
+// ---- projection ----
+
+type projectOp struct {
+	child operator
+	sch   Schema
+	fns   []evalFn
+}
+
+func (p *projectOp) schema() Schema { return p.sch }
+func (p *projectOp) open() error    { return p.child.open() }
+func (p *projectOp) close() error   { return p.child.close() }
+
+func (p *projectOp) next() (Row, error) {
+	r, err := p.child.next()
+	if err != nil {
+		return nil, err
+	}
+	out := make(Row, len(p.fns))
+	for i, f := range p.fns {
+		if out[i], err = f(r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- hash join (equi) ----
+
+type hashJoinOp struct {
+	left, right         operator
+	leftKeys, rightKeys []evalFn
+	sch                 Schema
+
+	table   map[string][]Row // build side (right)
+	probing Row              // current left row
+	matches []Row
+	matchI  int
+}
+
+func newHashJoinOp(left, right operator, lk, rk []evalFn) *hashJoinOp {
+	sch := append(append(Schema{}, left.schema()...), right.schema()...)
+	return &hashJoinOp{left: left, right: right, leftKeys: lk, rightKeys: rk, sch: sch}
+}
+
+func (j *hashJoinOp) schema() Schema { return j.sch }
+
+func (j *hashJoinOp) open() error {
+	if err := j.right.open(); err != nil {
+		return err
+	}
+	j.table = make(map[string][]Row)
+	for {
+		r, err := j.right.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			j.right.close()
+			return err
+		}
+		key, null, err := joinKey(r, j.rightKeys)
+		if err != nil {
+			j.right.close()
+			return err
+		}
+		if null {
+			continue // NULL keys never match
+		}
+		j.table[key] = append(j.table[key], r)
+	}
+	if err := j.right.close(); err != nil {
+		return err
+	}
+	j.probing, j.matches, j.matchI = nil, nil, 0
+	return j.left.open()
+}
+
+func (j *hashJoinOp) close() error { return j.left.close() }
+
+func (j *hashJoinOp) next() (Row, error) {
+	for {
+		if j.matchI < len(j.matches) {
+			right := j.matches[j.matchI]
+			j.matchI++
+			out := make(Row, 0, len(j.probing)+len(right))
+			out = append(append(out, j.probing...), right...)
+			return out, nil
+		}
+		l, err := j.left.next()
+		if err != nil {
+			return nil, err
+		}
+		key, null, err := joinKey(l, j.leftKeys)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			continue
+		}
+		j.probing = l
+		j.matches = j.table[key]
+		j.matchI = 0
+	}
+}
+
+// joinKey evaluates the key expressions; integer values are normalized to
+// floats so cross-type equi-joins behave like SQL equality.
+func joinKey(r Row, keys []evalFn) (string, bool, error) {
+	vals := make([]Value, len(keys))
+	for i, k := range keys {
+		v, err := k(r)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", true, nil
+		}
+		if v.T == TypeInt {
+			v = NewFloat(float64(v.I))
+		}
+		vals[i] = v
+	}
+	return Key(vals), false, nil
+}
+
+// ---- nested-loop cross join (fallback when no equi predicate exists) ----
+
+type crossJoinOp struct {
+	left, right operator
+	sch         Schema
+	rightRows   []Row
+	cur         Row
+	ri          int
+}
+
+func newCrossJoinOp(left, right operator) *crossJoinOp {
+	sch := append(append(Schema{}, left.schema()...), right.schema()...)
+	return &crossJoinOp{left: left, right: right, sch: sch}
+}
+
+func (j *crossJoinOp) schema() Schema { return j.sch }
+
+func (j *crossJoinOp) open() error {
+	rows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	j.rightRows = rows
+	j.cur, j.ri = nil, 0
+	return j.left.open()
+}
+
+func (j *crossJoinOp) close() error { return j.left.close() }
+
+func (j *crossJoinOp) next() (Row, error) {
+	for {
+		if j.cur != nil && j.ri < len(j.rightRows) {
+			r := j.rightRows[j.ri]
+			j.ri++
+			out := make(Row, 0, len(j.cur)+len(r))
+			out = append(append(out, j.cur...), r...)
+			return out, nil
+		}
+		l, err := j.left.next()
+		if err != nil {
+			return nil, err
+		}
+		j.cur, j.ri = l, 0
+	}
+}
+
+// ---- sort ----
+
+type sortOp struct {
+	child operator
+	keys  []evalFn
+	desc  []bool
+	rows  []Row
+	pos   int
+}
+
+func (s *sortOp) schema() Schema { return s.child.schema() }
+func (s *sortOp) close() error   { return nil }
+
+func (s *sortOp) open() error {
+	rows, err := drain(s.child)
+	if err != nil {
+		return err
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, key := range s.keys {
+			a, err := key(rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			b, err := key(rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c, err := Compare(a, b)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c != 0 {
+				if s.desc[k] {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	s.rows, s.pos = rows, 0
+	return nil
+}
+
+func (s *sortOp) next() (Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, io.EOF
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// ---- limit ----
+
+type limitOp struct {
+	child   operator
+	n       int // -1 = no limit (OFFSET only)
+	offset  int
+	seen    int
+	skipped int
+}
+
+func (l *limitOp) schema() Schema { return l.child.schema() }
+func (l *limitOp) open() error    { l.seen, l.skipped = 0, 0; return l.child.open() }
+func (l *limitOp) close() error   { return l.child.close() }
+
+func (l *limitOp) next() (Row, error) {
+	for l.skipped < l.offset {
+		if _, err := l.child.next(); err != nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.n >= 0 && l.seen >= l.n {
+		return nil, io.EOF
+	}
+	r, err := l.child.next()
+	if err != nil {
+		return nil, err
+	}
+	l.seen++
+	return r, nil
+}
+
+// ---- standard hash aggregation (equality Group-By) ----
+
+// hashAggOp implements the standard Group-By: groups are the distinct values
+// of the grouping expressions; output rows are [groupValues..., aggResults...].
+// With no grouping expressions it produces exactly one global-aggregate row.
+// Output is sorted by group key for determinism.
+type hashAggOp struct {
+	child      operator
+	groupExprs []evalFn
+	calls      []*aggCall
+	sch        Schema
+
+	rows []Row
+	pos  int
+}
+
+func (a *hashAggOp) schema() Schema { return a.sch }
+func (a *hashAggOp) close() error   { return nil }
+
+func (a *hashAggOp) open() error {
+	if err := a.child.open(); err != nil {
+		return err
+	}
+	defer a.child.close()
+	type bucket struct {
+		keyVals []Value
+		acc     *groupAccumulator
+	}
+	buckets := make(map[string]*bucket)
+	var order []string
+	for {
+		r, err := a.child.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		keyVals := make([]Value, len(a.groupExprs))
+		for i, g := range a.groupExprs {
+			if keyVals[i], err = g(r); err != nil {
+				return err
+			}
+		}
+		key := Key(keyVals)
+		b, ok := buckets[key]
+		if !ok {
+			acc, err := newGroupAccumulator(a.calls)
+			if err != nil {
+				return err
+			}
+			b = &bucket{keyVals: keyVals, acc: acc}
+			buckets[key] = b
+			order = append(order, key)
+		}
+		if err := b.acc.add(a.calls, r); err != nil {
+			return err
+		}
+	}
+	if len(a.groupExprs) == 0 && len(buckets) == 0 {
+		// Global aggregate over an empty input still yields one row.
+		acc, err := newGroupAccumulator(a.calls)
+		if err != nil {
+			return err
+		}
+		buckets[""] = &bucket{acc: acc}
+		order = append(order, "")
+	}
+	a.rows = a.rows[:0]
+	for _, key := range order {
+		b := buckets[key]
+		out := make(Row, 0, len(a.groupExprs)+len(a.calls))
+		out = append(out, b.keyVals...)
+		out = append(out, b.acc.results()...)
+		a.rows = append(a.rows, out)
+	}
+	sortRowsStable(a.rows, len(a.groupExprs))
+	a.pos = 0
+	return nil
+}
+
+func (a *hashAggOp) next() (Row, error) {
+	if a.pos >= len(a.rows) {
+		return nil, io.EOF
+	}
+	r := a.rows[a.pos]
+	a.pos++
+	return r, nil
+}
+
+// ---- similarity group-by aggregation ----
+
+// sgbAggOp is the physical SGB operator: it consumes the child in input
+// order, maps the grouping expressions to a multi-dimensional point per
+// tuple, groups the points with the core SGB-All/SGB-Any machinery, and
+// evaluates the aggregate calls over each group's member tuples. The output
+// rows are [representativeGroupValues..., aggResults...], where the
+// representative values come from the group's first member (similarity
+// groups have no single key value). ELIMINATE'd tuples contribute to no
+// group. Output order follows the smallest member position per group.
+type sgbAggOp struct {
+	child      operator
+	groupExprs []evalFn
+	calls      []*aggCall
+	sch        Schema
+	spec       SimilaritySpec
+	algorithm  core.Algorithm
+
+	rows []Row
+	pos  int
+
+	// LastStats exposes the core grouper's cost counters for the most
+	// recent execution, used by the benchmark harness.
+	lastStats core.Stats
+}
+
+func (a *sgbAggOp) schema() Schema { return a.sch }
+func (a *sgbAggOp) close() error   { return nil }
+
+func (a *sgbAggOp) open() error {
+	if err := a.child.open(); err != nil {
+		return err
+	}
+	defer a.child.close()
+	opt := core.Options{
+		Metric:    a.spec.Metric,
+		Eps:       a.spec.Eps,
+		Overlap:   a.spec.Overlap,
+		Algorithm: a.algorithm,
+	}
+	var addPoint func(geom.Point) (int, error)
+	var finish func() (*core.Result, error)
+	if a.spec.Mode == SGBAllMode {
+		g, err := core.NewAllGrouper(opt)
+		if err != nil {
+			return err
+		}
+		addPoint, finish = g.Add, g.Finish
+	} else {
+		if opt.Algorithm == core.BoundsChecking {
+			opt.Algorithm = core.IndexBounds // SGB-Any has no bounds variant
+		}
+		g, err := core.NewAnyGrouper(opt)
+		if err != nil {
+			return err
+		}
+		addPoint, finish = g.Add, g.Finish
+	}
+	var tuples []Row
+	for {
+		r, err := a.child.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		p := make(geom.Point, len(a.groupExprs))
+		for i, g := range a.groupExprs {
+			v, err := g(r)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return fmt.Errorf("engine: NULL in similarity grouping attribute %d", i+1)
+			}
+			if p[i], err = v.AsFloat(); err != nil {
+				return fmt.Errorf("engine: similarity grouping attribute %d: %v", i+1, err)
+			}
+		}
+		if _, err := addPoint(p); err != nil {
+			return err
+		}
+		tuples = append(tuples, r)
+	}
+	a.rows = a.rows[:0]
+	if len(tuples) == 0 {
+		a.pos = 0
+		return nil
+	}
+	res, err := finish()
+	if err != nil {
+		return err
+	}
+	a.lastStats = res.Stats
+	for _, grp := range res.Groups {
+		acc, err := newGroupAccumulator(a.calls)
+		if err != nil {
+			return err
+		}
+		for _, id := range grp.IDs {
+			if err := acc.add(a.calls, tuples[id]); err != nil {
+				return err
+			}
+		}
+		rep := tuples[grp.IDs[0]]
+		out := make(Row, 0, len(a.groupExprs)+len(a.calls))
+		for _, g := range a.groupExprs {
+			v, err := g(rep)
+			if err != nil {
+				return err
+			}
+			out = append(out, v)
+		}
+		out = append(out, acc.results()...)
+		a.rows = append(a.rows, out)
+	}
+	a.pos = 0
+	return nil
+}
+
+func (a *sgbAggOp) next() (Row, error) {
+	if a.pos >= len(a.rows) {
+		return nil, io.EOF
+	}
+	r := a.rows[a.pos]
+	a.pos++
+	return r, nil
+}
+
+// ---- distinct ----
+
+// distinctOp filters out duplicate rows (SELECT DISTINCT), preserving the
+// first occurrence order.
+type distinctOp struct {
+	child operator
+	seen  map[string]bool
+}
+
+func (d *distinctOp) schema() Schema { return d.child.schema() }
+
+func (d *distinctOp) open() error {
+	d.seen = make(map[string]bool)
+	return d.child.open()
+}
+
+func (d *distinctOp) close() error { return d.child.close() }
+
+func (d *distinctOp) next() (Row, error) {
+	for {
+		r, err := d.child.next()
+		if err != nil {
+			return nil, err
+		}
+		key := Key(r)
+		if d.seen[key] {
+			continue
+		}
+		d.seen[key] = true
+		return r, nil
+	}
+}

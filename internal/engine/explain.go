@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExplainStmt is a parsed EXPLAIN SELECT.
+type ExplainStmt struct {
+	Query *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
+
+// explainPlan renders an operator tree as indented text, one operator per
+// line, in execution order (children before parents reads bottom-up; the
+// rendering is top-down like PostgreSQL's EXPLAIN).
+func explainPlan(op operator) []string {
+	var lines []string
+	var walk func(op operator, depth int)
+	walk = func(op operator, depth int) {
+		indent := strings.Repeat("  ", depth)
+		switch op := op.(type) {
+		case *indexScanOp:
+			lines = append(lines, fmt.Sprintf("%sIndexScan on %s using %s (%s = const)",
+				indent, op.table.Name, op.ix.Name, op.ix.Column))
+		case *scanOp:
+			lines = append(lines, fmt.Sprintf("%sSeqScan on %s (%d rows)", indent, op.table.Name, len(op.table.Rows)))
+		case *valuesOp:
+			lines = append(lines, fmt.Sprintf("%sValues (%d rows)", indent, len(op.rows)))
+		case *renameOp:
+			lines = append(lines, fmt.Sprintf("%sSubqueryScan as %s", indent, op.sch[0].Table))
+			walk(op.child, depth+1)
+		case *filterOp:
+			lines = append(lines, indent+"Filter")
+			walk(op.child, depth+1)
+		case *projectOp:
+			lines = append(lines, fmt.Sprintf("%sProject (%s)", indent, strings.Join(op.sch.Names(), ", ")))
+			walk(op.child, depth+1)
+		case *hashJoinOp:
+			lines = append(lines, fmt.Sprintf("%sHashJoin (%d key(s))", indent, len(op.leftKeys)))
+			walk(op.left, depth+1)
+			walk(op.right, depth+1)
+		case *crossJoinOp:
+			lines = append(lines, indent+"NestedLoop (cross)")
+			walk(op.left, depth+1)
+			walk(op.right, depth+1)
+		case *sortOp:
+			lines = append(lines, fmt.Sprintf("%sSort (%d key(s))", indent, len(op.keys)))
+			walk(op.child, depth+1)
+		case *distinctOp:
+			lines = append(lines, indent+"Distinct")
+			walk(op.child, depth+1)
+		case *limitOp:
+			label := fmt.Sprintf("%sLimit %d", indent, op.n)
+			if op.offset > 0 {
+				label += fmt.Sprintf(" Offset %d", op.offset)
+			}
+			lines = append(lines, label)
+			walk(op.child, depth+1)
+		case *hashAggOp:
+			lines = append(lines, fmt.Sprintf("%sHashAggregate (%d group key(s), %d aggregate(s))",
+				indent, len(op.groupExprs), len(op.calls)))
+			walk(op.child, depth+1)
+		case *sgbAggOp:
+			mode := "DISTANCE-TO-ALL " + op.spec.Overlap.String()
+			if op.spec.Mode == SGBAnyMode {
+				mode = "DISTANCE-TO-ANY"
+			}
+			lines = append(lines, fmt.Sprintf("%sSimilarityGroupBy %s %s WITHIN %g [%s] (%d aggregate(s))",
+				indent, mode, op.spec.Metric, op.spec.Eps, op.algorithm, len(op.calls)))
+			walk(op.child, depth+1)
+		default:
+			lines = append(lines, fmt.Sprintf("%s%T", indent, op))
+		}
+	}
+	walk(op, 0)
+	return lines
+}

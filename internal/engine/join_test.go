@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMultiKeyHashJoin(t *testing.T) {
+	// The GB2/Q9 pattern: partsupp joins lineitem on (partkey, suppkey).
+	db := NewDB()
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE ps (pk INT, sk INT, cost FLOAT)")
+	mustExec("INSERT INTO ps VALUES (1, 1, 10.0), (1, 2, 11.0), (2, 1, 20.0)")
+	mustExec("CREATE TABLE li (pk INT, sk INT, qty FLOAT)")
+	mustExec("INSERT INTO li VALUES (1, 1, 5.0), (1, 2, 6.0), (1, 9, 7.0), (2, 1, 8.0)")
+	got := queryStrings(t, db, `
+		SELECT ps.cost, li.qty FROM ps, li
+		WHERE ps.pk = li.pk AND ps.sk = li.sk
+		ORDER BY ps.cost`)
+	want := [][]string{{"10", "5"}, {"11", "6"}, {"20", "8"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// The plan uses one hash join with both keys, not a cross product.
+	res, err := db.Exec("EXPLAIN SELECT ps.cost FROM ps, li WHERE ps.pk = li.pk AND ps.sk = li.sk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsLine(res, "HashJoin (2 key(s))") {
+		t.Fatalf("expected 2-key hash join:\n%s", planText(res))
+	}
+}
+
+func TestCrossTypeJoinKeys(t *testing.T) {
+	// An INT key column joining a FLOAT key column must match on value.
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE a (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE b (k FLOAT, v TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO a VALUES (1), (2), (3)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO b VALUES (2.0, 'two'), (3.0, 'three'), (2.5, 'half')"); err != nil {
+		t.Fatal(err)
+	}
+	got := queryStrings(t, db, "SELECT b.v FROM a, b WHERE a.k = b.k ORDER BY b.v")
+	want := [][]string{{"three"}, {"two"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelfJoin(t *testing.T) {
+	db := testDB(t)
+	// Pairs of employees in the same department.
+	got := queryStrings(t, db, `
+		SELECT a.name, b.name FROM emp a, emp b
+		WHERE a.dept = b.dept AND a.name < b.name
+		ORDER BY a.name`)
+	want := [][]string{{"ann", "bob"}, {"cat", "dan"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestJoinDuplicatesMultiply(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE l (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE r (k INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO l VALUES (1), (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO r VALUES (1), (1), (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	got := queryStrings(t, db, "SELECT count(*) FROM l, r WHERE l.k = r.k")
+	if got[0][0] != "7" { // 2*3 + 1*1
+		t.Fatalf("join cardinality = %v, want 7", got)
+	}
+}
+
+// TestHashJoinMatchesNestedLoop cross-validates the hash join against the
+// cross-product-plus-filter plan on random data.
+func TestHashJoinMatchesNestedLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(150))
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE x (k INT, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE y (k INT, w INT)"); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Catalog().Get("x")
+	ty, _ := db.Catalog().Get("y")
+	for i := 0; i < 200; i++ {
+		if err := tx.Insert(Row{NewInt(int64(r.Intn(20))), NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		if err := ty.Insert(Row{NewInt(int64(r.Intn(20))), NewInt(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Equi form plans a hash join; the arithmetic form defeats the
+	// equi-detection and falls back to a filtered cross join.
+	hash := queryStrings(t, db, "SELECT x.v, y.w FROM x, y WHERE x.k = y.k ORDER BY x.v, y.w")
+	nested := queryStrings(t, db, "SELECT x.v, y.w FROM x, y WHERE x.k - y.k = 0 ORDER BY x.v, y.w")
+	if !reflect.DeepEqual(hash, nested) {
+		t.Fatalf("hash join (%d rows) and nested loop (%d rows) disagree", len(hash), len(nested))
+	}
+}
+
+// TestThreeWayJoinOrderIndependence: the answer must not depend on FROM
+// order even though the left-deep plan does.
+func TestThreeWayJoinOrderIndependence(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Exec("CREATE TABLE grade (dept INT, g TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO grade VALUES (10, 'A'), (20, 'B'), (30, 'C')"); err != nil {
+		t.Fatal(err)
+	}
+	perms := []string{
+		"emp e, dept d, grade g",
+		"grade g, emp e, dept d",
+		"dept d, grade g, emp e",
+	}
+	var base [][]string
+	for i, from := range perms {
+		q := fmt.Sprintf(`SELECT e.name, d.dname, g.g FROM %s
+			WHERE e.dept = d.id AND d.id = g.dept ORDER BY e.name`, from)
+		got := queryStrings(t, db, q)
+		if i == 0 {
+			base = got
+			continue
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("FROM order %q changed the answer", from)
+		}
+	}
+	if len(base) != 5 {
+		t.Fatalf("three-way join rows = %d", len(base))
+	}
+}
+
+// TestJoinThenSGBStats: the SGB operator downstream of a join sees exactly
+// the join's output cardinality.
+func TestJoinThenSGBStats(t *testing.T) {
+	db := testDB(t)
+	if _, err := db.Query(`
+		SELECT count(*) FROM emp e, dept d
+		WHERE e.dept = d.id
+		GROUP BY e.salary, e.dept DISTANCE-TO-ALL L2 WITHIN 200 ON-OVERLAP JOIN-ANY`); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.LastSGBStats(); st == nil || st.Points != 5 {
+		t.Fatalf("SGB saw %+v, want 5 joined tuples", db.LastSGBStats())
+	}
+}

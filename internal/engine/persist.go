@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"sgb/internal/core"
+)
+
+// algFromByte decodes a stored algorithm selector, defaulting to the index
+// variant on unknown values.
+func algFromByte(b uint8) core.Algorithm {
+	switch a := core.Algorithm(b); a {
+	case core.AllPairs, core.BoundsChecking, core.IndexBounds:
+		return a
+	default:
+		return core.IndexBounds
+	}
+}
+
+// snapshot is the gob-encoded durable form of a database: the full catalog
+// plus session settings. The engine is an in-memory system like the paper's
+// prototype; snapshot persistence lets long-lived datasets (generated
+// benchmarks, loaded CSVs) be saved and reopened without regeneration.
+// Views are session-scoped query definitions and are not persisted.
+type snapshot struct {
+	Version int
+	Tables  []*Table
+	SGBAlg  uint8
+}
+
+const snapshotVersion = 1
+
+// Save writes a snapshot of the database to w.
+func (db *DB) Save(w io.Writer) error {
+	snap := snapshot{Version: snapshotVersion, SGBAlg: uint8(db.sgbAlg)}
+	for _, name := range db.cat.Names() {
+		t, err := db.cat.Get(name)
+		if err != nil {
+			return err
+		}
+		snap.Tables = append(snap.Tables, t)
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load restores a database from a snapshot written by Save.
+func Load(r io.Reader) (*DB, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("engine: loading snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
+	}
+	db := NewDB()
+	db.sgbAlg = algFromByte(snap.SGBAlg)
+	for _, t := range snap.Tables {
+		created, err := db.cat.Create(t.Name, t.Schema)
+		if err != nil {
+			return nil, err
+		}
+		// Create re-qualifies the schema by table name; keep the stored
+		// qualification, rows and index metadata as-is (index buckets are
+		// rebuilt lazily on first use).
+		created.Schema = t.Schema
+		created.Rows = t.Rows
+		created.Indexes = t.Indexes
+	}
+	return db, nil
+}

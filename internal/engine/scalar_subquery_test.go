@@ -1,0 +1,79 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestScalarSubqueryBasics(t *testing.T) {
+	db := testDB(t)
+	got := queryStrings(t, db, "SELECT name FROM emp WHERE salary = (SELECT max(salary) FROM emp)")
+	want := [][]string{{"eve"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	// Arithmetic with a scalar subquery.
+	got = queryStrings(t, db, "SELECT name FROM emp WHERE salary > (SELECT avg(salary) FROM emp) ORDER BY name")
+	want = [][]string{{"dan"}, {"eve"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+	// In the SELECT list.
+	got = queryStrings(t, db, "SELECT (SELECT count(*) FROM dept)")
+	if got[0][0] != "3" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// TestScalarSubqueryQ15Shape: the faithful TPC-H Q15 formulation — suppliers
+// whose revenue equals the maximum revenue — now expresses directly.
+func TestScalarSubqueryQ15Shape(t *testing.T) {
+	db := NewDB()
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := db.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec("CREATE TABLE revenue (suppkey INT, total FLOAT)")
+	mustExec("INSERT INTO revenue VALUES (1, 100.0), (2, 300.0), (3, 300.0), (4, 50.0)")
+	got := queryStrings(t, db, `
+		SELECT suppkey FROM revenue
+		WHERE total = (SELECT max(total) FROM revenue)
+		ORDER BY suppkey`)
+	want := [][]string{{"2"}, {"3"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestScalarSubqueryEmptyAndErrors(t *testing.T) {
+	db := testDB(t)
+	// Zero rows yield NULL: the comparison is never true.
+	got := queryStrings(t, db,
+		"SELECT name FROM emp WHERE salary = (SELECT salary FROM emp WHERE name = 'nosuch')")
+	if len(got) != 0 {
+		t.Fatalf("NULL scalar compared true: %v", got)
+	}
+	// More than one row is an error.
+	if _, err := db.Query("SELECT (SELECT salary FROM emp)"); err == nil {
+		t.Error("multi-row scalar subquery accepted")
+	}
+	// More than one column is an error.
+	if _, err := db.Query("SELECT (SELECT id, dname FROM dept WHERE id = 10)"); err == nil {
+		t.Error("multi-column scalar subquery accepted")
+	}
+}
+
+func TestScalarSubqueryWithSGB(t *testing.T) {
+	db := sgbDB(t)
+	// Similarity groups larger than the average group size.
+	got := queryStrings(t, db, `
+		SELECT count(*) FROM pts
+		GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE
+		HAVING count(*) >= (SELECT 2)
+		ORDER BY count(*)`)
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}

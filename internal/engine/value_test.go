@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"testing"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{Null, "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if f, err := NewInt(3).AsFloat(); err != nil || f != 3 {
+		t.Errorf("int AsFloat = %v, %v", f, err)
+	}
+	if i, err := NewFloat(3.9).AsInt(); err != nil || i != 3 {
+		t.Errorf("float AsInt = %v, %v", i, err)
+	}
+	if _, err := NewString("x").AsFloat(); err == nil {
+		t.Error("string coerced to float")
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull wrong")
+	}
+	if Null.Truthy() || NewBool(false).Truthy() || !NewBool(true).Truthy() {
+		t.Error("Truthy wrong")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, %v; want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := Compare(NewString("a"), NewInt(1)); err == nil {
+		t.Error("cross-type string/int comparison succeeded")
+	}
+}
+
+func TestKeyInjective(t *testing.T) {
+	// Values that render similarly must still key differently.
+	pairs := [][2][]Value{
+		{{NewInt(1)}, {NewString("1")}},
+		{{NewString("a|b")}, {NewString("a"), NewString("b")}},
+		{{NewString("")}, {Null}},
+		{{NewBool(true)}, {NewInt(1)}},
+		{{NewFloat(1)}, {NewInt(1)}},
+		{{NewString("12")}, {NewString("1"), NewString("2")}},
+	}
+	for _, p := range pairs {
+		if Key(p[0]) == Key(p[1]) {
+			t.Errorf("Key collision between %v and %v", p[0], p[1])
+		}
+	}
+	if Key([]Value{NewInt(5), NewString("x")}) != Key([]Value{NewInt(5), NewString("x")}) {
+		t.Error("Key not deterministic")
+	}
+}
+
+func TestParseTypeNames(t *testing.T) {
+	for in, want := range map[string]Type{
+		"int": TypeInt, "INTEGER": TypeInt, "bigint": TypeInt,
+		"float": TypeFloat, "DOUBLE": TypeFloat, "numeric": TypeFloat,
+		"text": TypeString, "VARCHAR": TypeString,
+		"bool": TypeBool, "BOOLEAN": TypeBool,
+	} {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType accepted unknown type")
+	}
+}
+
+func TestSchemaResolve(t *testing.T) {
+	s := Schema{
+		{Table: "t1", Name: "a", T: TypeInt},
+		{Table: "t1", Name: "b", T: TypeInt},
+		{Table: "t2", Name: "b", T: TypeFloat},
+	}
+	if i, err := s.Resolve("", "a"); err != nil || i != 0 {
+		t.Errorf("Resolve a = %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "b"); err == nil {
+		t.Error("ambiguous unqualified b resolved")
+	}
+	if i, err := s.Resolve("t2", "b"); err != nil || i != 2 {
+		t.Errorf("Resolve t2.b = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("T1", "B"); err != nil || i != 1 {
+		t.Errorf("case-insensitive resolve = %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "zz"); err == nil {
+		t.Error("unknown column resolved")
+	}
+	if _, err := s.Resolve("t3", "a"); err == nil {
+		t.Error("unknown qualifier resolved")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	tbl, err := c.Create("Points", Schema{{Name: "x", T: TypeFloat}, {Name: "y", T: TypeFloat}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Create("points", nil); err == nil {
+		t.Error("duplicate create (case-insensitive) succeeded")
+	}
+	if _, err := c.Get("POINTS"); err != nil {
+		t.Error("case-insensitive lookup failed")
+	}
+	if err := tbl.Insert(Row{NewInt(1), NewFloat(2)}); err != nil {
+		t.Fatalf("insert with int->float coercion failed: %v", err)
+	}
+	if tbl.Rows[0][0].T != TypeFloat {
+		t.Error("int was not coerced to declared float column")
+	}
+	if err := tbl.Insert(Row{NewFloat(1)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := tbl.Insert(Row{NewString("x"), NewFloat(0)}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	c.Drop("points")
+	if _, err := c.Get("points"); err == nil {
+		t.Error("dropped table still resolvable")
+	}
+}

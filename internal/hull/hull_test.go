@@ -1,0 +1,216 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sgb/internal/geom"
+)
+
+func pts(coords ...float64) []geom.Point {
+	out := make([]geom.Point, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		out = append(out, geom.Point{coords[i], coords[i+1]})
+	}
+	return out
+}
+
+func TestComputeDegenerate(t *testing.T) {
+	if h := Compute(nil); len(h) != 0 {
+		t.Fatalf("hull of nothing = %v", h)
+	}
+	if h := Compute(pts(1, 1)); len(h) != 1 {
+		t.Fatalf("hull of a point = %v", h)
+	}
+	if h := Compute(pts(1, 1, 1, 1, 1, 1)); len(h) != 1 {
+		t.Fatalf("hull of duplicates = %v", h)
+	}
+	if h := Compute(pts(0, 0, 2, 2)); len(h) != 2 {
+		t.Fatalf("hull of a segment = %v", h)
+	}
+	// Collinear points collapse to the extreme pair.
+	if h := Compute(pts(0, 0, 1, 1, 2, 2, 3, 3)); len(h) != 2 {
+		t.Fatalf("hull of collinear points = %v", h)
+	}
+}
+
+func TestComputeSquare(t *testing.T) {
+	h := Compute(pts(0, 0, 2, 0, 2, 2, 0, 2, 1, 1, 1, 0.5))
+	if len(h) != 4 {
+		t.Fatalf("square hull has %d vertices: %v", len(h), h)
+	}
+	for _, v := range h {
+		if (v[0] != 0 && v[0] != 2) || (v[1] != 0 && v[1] != 2) {
+			t.Fatalf("interior point %v on hull", v)
+		}
+	}
+	// Counter-clockwise orientation: the signed area must be positive.
+	var area float64
+	for i := range h {
+		j := (i + 1) % len(h)
+		area += h[i][0]*h[j][1] - h[j][0]*h[i][1]
+	}
+	if area <= 0 {
+		t.Fatalf("hull is not counter-clockwise (signed area %v)", area)
+	}
+}
+
+func TestContains(t *testing.T) {
+	h := Compute(pts(0, 0, 4, 0, 4, 4, 0, 4))
+	for _, tc := range []struct {
+		p    geom.Point
+		want bool
+	}{
+		{geom.Point{2, 2}, true},
+		{geom.Point{0, 0}, true},  // vertex
+		{geom.Point{2, 0}, true},  // edge
+		{geom.Point{4, 4}, true},  // vertex
+		{geom.Point{5, 2}, false}, // outside
+		{geom.Point{-0.001, 2}, false},
+	} {
+		if got := Contains(h, tc.p); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Degenerate hulls.
+	if Contains(nil, geom.Point{0, 0}) {
+		t.Error("empty hull contains a point")
+	}
+	if !Contains(pts(1, 1), geom.Point{1, 1}) || Contains(pts(1, 1), geom.Point{1, 2}) {
+		t.Error("single-point hull containment wrong")
+	}
+	seg := pts(0, 0, 2, 2)
+	if !Contains(seg, geom.Point{1, 1}) || Contains(seg, geom.Point{1, 0}) || Contains(seg, geom.Point{3, 3}) {
+		t.Error("segment hull containment wrong")
+	}
+}
+
+// TestHullContainsAllInputs is the fundamental hull property.
+func TestHullContainsAllInputs(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + r.Intn(40)
+		points := make([]geom.Point, n)
+		for i := range points {
+			points[i] = geom.Point{r.Float64() * 10, r.Float64() * 10}
+		}
+		h := Compute(points)
+		for _, p := range points {
+			if !Contains(h, p) {
+				t.Fatalf("input point %v outside its hull %v", p, h)
+			}
+		}
+		// Idempotence: hull of hull is the hull.
+		h2 := Compute(h)
+		if len(h2) != len(h) {
+			t.Fatalf("hull of hull has %d vertices, want %d", len(h2), len(h))
+		}
+	}
+}
+
+// TestFarthestIsGlobalMax verifies the paper's Procedure 6 premise: the
+// farthest point of a set from any probe is a hull vertex.
+func TestFarthestIsGlobalMax(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, m := range []geom.Metric{geom.L2, geom.LInf} {
+		for trial := 0; trial < 100; trial++ {
+			n := 3 + r.Intn(30)
+			points := make([]geom.Point, n)
+			for i := range points {
+				points[i] = geom.Point{r.Float64() * 10, r.Float64() * 10}
+			}
+			h := Compute(points)
+			probe := geom.Point{r.Float64()*20 - 5, r.Float64()*20 - 5}
+			_, hd := Farthest(m, h, probe)
+			var max float64
+			for _, p := range points {
+				if d := geom.Dist(m, p, probe); d > max {
+					max = d
+				}
+			}
+			if math.Abs(hd-max) > 1e-9 {
+				t.Fatalf("%v: hull farthest %v, global farthest %v", m, hd, max)
+			}
+		}
+	}
+}
+
+func TestFarthestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Farthest on empty hull did not panic")
+		}
+	}()
+	Farthest(geom.L2, nil, geom.Point{0, 0})
+}
+
+func TestDiameter(t *testing.T) {
+	h := Compute(pts(0, 0, 3, 0, 3, 4, 0, 4))
+	if d := Diameter(geom.L2, h); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("L2 diameter = %v, want 5", d)
+	}
+	if d := Diameter(geom.LInf, h); d != 4 {
+		t.Fatalf("LInf diameter = %v, want 4", d)
+	}
+	if Diameter(geom.L2, pts(1, 1)) != 0 || Diameter(geom.L2, nil) != 0 {
+		t.Fatal("degenerate diameter should be 0")
+	}
+}
+
+func TestIncrementalMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		points := make([]geom.Point, n)
+		for i := range points {
+			points[i] = geom.Point{r.Float64() * 10, r.Float64() * 10}
+		}
+		inc := NewIncremental(points[0])
+		for _, p := range points[1:] {
+			inc.Add(p)
+		}
+		batch := Compute(points)
+		if len(inc.Vertices()) != len(batch) {
+			t.Fatalf("incremental hull has %d vertices, batch %d", len(inc.Vertices()), len(batch))
+		}
+		for _, p := range points {
+			if !inc.Contains(p) {
+				t.Fatalf("incremental hull misses input %v", p)
+			}
+		}
+		probe := geom.Point{r.Float64() * 10, r.Float64() * 10}
+		_, d1 := inc.Farthest(geom.L2, probe)
+		_, d2 := Farthest(geom.L2, batch, probe)
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("incremental farthest %v, batch %v", d1, d2)
+		}
+	}
+}
+
+func TestIncrementalRebuild(t *testing.T) {
+	inc := NewIncremental(pts(0, 0, 4, 0, 4, 4, 0, 4)...)
+	if len(inc.Vertices()) != 4 {
+		t.Fatalf("seed hull has %d vertices", len(inc.Vertices()))
+	}
+	inc.Rebuild(pts(0, 0, 1, 0, 0, 1))
+	if len(inc.Vertices()) != 3 {
+		t.Fatalf("rebuilt hull has %d vertices", len(inc.Vertices()))
+	}
+	if inc.Contains(geom.Point{3, 3}) {
+		t.Fatal("rebuilt hull still covers old area")
+	}
+}
+
+func BenchmarkCompute(b *testing.B) {
+	r := rand.New(rand.NewSource(23))
+	points := make([]geom.Point, 1000)
+	for i := range points {
+		points[i] = geom.Point{r.Float64(), r.Float64()}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compute(points)
+	}
+}

@@ -1,0 +1,137 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sgb/internal/geom"
+)
+
+func bulkEntries(r *rand.Rand, n, dim int) []BulkEntry {
+	out := make([]BulkEntry, n)
+	for i := range out {
+		p := make(geom.Point, dim)
+		for d := range p {
+			p[d] = r.Float64() * 100
+		}
+		out[i] = BulkEntry{Rect: geom.PointRect(p), Ref: int64(i)}
+	}
+	return out
+}
+
+func TestBulkLoadMatchesIncremental(t *testing.T) {
+	r := rand.New(rand.NewSource(110))
+	for _, n := range []int{0, 1, 5, 16, 17, 100, 1000, 5000} {
+		entries := bulkEntries(r, n, 2)
+		// Keep a copy: BulkLoad reorders in place.
+		inc := New(2)
+		for _, e := range entries {
+			inc.Insert(e.Rect, e.Ref)
+		}
+		packed := BulkLoad(2, entries)
+		if packed.Len() != n {
+			t.Fatalf("n=%d: packed Len=%d", n, packed.Len())
+		}
+		if err := packed.CheckInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for q := 0; q < 30; q++ {
+			w := randRect(r, 2)
+			a := inc.SearchSlice(w)
+			b := packed.SearchSlice(w)
+			sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+			sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+			if !equalIDs(a, b) {
+				t.Fatalf("n=%d: packed search differs from incremental", n)
+			}
+		}
+	}
+}
+
+func TestBulkLoadThenMutate(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	entries := bulkEntries(r, 500, 2)
+	rects := make([]geom.Rect, len(entries))
+	for i, e := range entries {
+		rects[i] = e.Rect.Clone()
+	}
+	tr := BulkLoad(2, entries)
+	// Insert after packing.
+	extra := geom.PointRect(geom.Point{200, 200})
+	tr.Insert(extra, 9999)
+	if got := tr.SearchSlice(extra); len(got) != 1 || got[0] != 9999 {
+		t.Fatalf("post-pack insert not found: %v", got)
+	}
+	// Delete half the packed entries.
+	for i := int64(0); i < 250; i++ {
+		if !tr.Delete(rects[i], i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 251 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadHigherDim(t *testing.T) {
+	r := rand.New(rand.NewSource(112))
+	entries := bulkEntries(r, 700, 3)
+	tr := BulkLoad(3, entries)
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	all := tr.SearchSlice(geom.NewRect(geom.Point{0, 0, 0}, geom.Point{100, 100, 100}))
+	if len(all) != 700 {
+		t.Fatalf("full window found %d", len(all))
+	}
+}
+
+func TestBulkLoadNearest(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	entries := bulkEntries(r, 800, 2)
+	pts := make([]geom.Point, len(entries))
+	for _, e := range entries {
+		pts[e.Ref] = e.Rect.Min.Clone()
+	}
+	tr := BulkLoad(2, entries)
+	q := geom.Point{50, 50}
+	got := tr.Nearest(q, 5, geom.L2)
+	if len(got) != 5 {
+		t.Fatalf("got %d neighbours", len(got))
+	}
+	// Verify the first result against brute force.
+	best, bd := -1, 1e18
+	for i, p := range pts {
+		d := geom.Dist(geom.L2, p, q)
+		if d < bd {
+			best, bd = i, d
+		}
+	}
+	if got[0].Ref != int64(best) {
+		t.Fatalf("nearest = %d, want %d", got[0].Ref, best)
+	}
+}
+
+func BenchmarkBulkLoadVsIncremental(b *testing.B) {
+	r := rand.New(rand.NewSource(114))
+	base := bulkEntries(r, 50000, 2)
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := New(2)
+			for _, e := range base {
+				tr.Insert(e.Rect, e.Ref)
+			}
+		}
+	})
+	b.Run("str-pack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			entries := make([]BulkEntry, len(base))
+			copy(entries, base)
+			BulkLoad(2, entries)
+		}
+	})
+}

@@ -1,0 +1,4 @@
+package rtree
+
+// CheckInvariants exposes the structural validator to the tests.
+func (t *Tree) CheckInvariants() error { return t.checkInvariants() }

@@ -1,0 +1,73 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"sgb/internal/geom"
+)
+
+// Neighbor is one result of a nearest-neighbour query.
+type Neighbor struct {
+	// Ref is the stored entry reference.
+	Ref int64
+	// Dist is the minimum distance from the query point to the entry's
+	// rectangle (for point entries, the distance to the point).
+	Dist float64
+}
+
+// nnItem is a frontier element of the best-first search: either an internal
+// node or a leaf entry, ordered by its distance lower bound.
+type nnItem struct {
+	node *node
+	ref  int64
+	dist float64
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Nearest returns the k entries whose rectangles are closest to p under
+// metric m, in ascending distance order (fewer when the tree holds fewer
+// than k entries). It runs the classic best-first search: a priority queue
+// over nodes and entries keyed by MinDist, so subtrees farther than the
+// current k-th best are never descended.
+func (t *Tree) Nearest(p geom.Point, k int, m geom.Metric) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	if len(p) != t.dim {
+		panic("rtree: query point dimension mismatch")
+	}
+	h := &nnHeap{{node: t.root, dist: 0}}
+	out := make([]Neighbor, 0, k)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(nnItem)
+		if it.node == nil {
+			out = append(out, Neighbor{Ref: it.ref, Dist: it.dist})
+			if len(out) == k {
+				return out
+			}
+			continue
+		}
+		for i := range it.node.entries {
+			e := &it.node.entries[i]
+			d := geom.MinDist(m, p, e.rect)
+			if e.child != nil {
+				heap.Push(h, nnItem{node: e.child, dist: d})
+			} else {
+				heap.Push(h, nnItem{ref: e.ref, dist: d})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sgb/internal/geom"
+)
+
+func TestNearestBasics(t *testing.T) {
+	tr := New(2)
+	pts := []geom.Point{{0, 0}, {1, 0}, {5, 5}, {10, 10}}
+	for i, p := range pts {
+		tr.Insert(geom.PointRect(p), int64(i))
+	}
+	got := tr.Nearest(geom.Point{0.4, 0}, 2, geom.L2)
+	if len(got) != 2 || got[0].Ref != 0 || got[1].Ref != 1 {
+		t.Fatalf("nearest = %+v", got)
+	}
+	if got[0].Dist > got[1].Dist {
+		t.Fatal("results not in ascending distance order")
+	}
+	// k larger than the tree returns everything.
+	if got := tr.Nearest(geom.Point{0, 0}, 99, geom.L2); len(got) != 4 {
+		t.Fatalf("got %d results", len(got))
+	}
+	// Degenerate inputs.
+	if got := tr.Nearest(geom.Point{0, 0}, 0, geom.L2); got != nil {
+		t.Fatal("k=0 returned results")
+	}
+	if got := New(2).Nearest(geom.Point{0, 0}, 3, geom.L2); got != nil {
+		t.Fatal("empty tree returned results")
+	}
+}
+
+func TestNearestDimensionMismatchPanics(t *testing.T) {
+	tr := New(2)
+	tr.Insert(geom.PointRect(geom.Point{0, 0}), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	tr.Nearest(geom.Point{0}, 1, geom.L2)
+}
+
+// TestNearestMatchesBruteForce validates the best-first search against a
+// linear scan for all metrics.
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	for _, m := range []geom.Metric{geom.L2, geom.LInf, geom.L1} {
+		for trial := 0; trial < 20; trial++ {
+			n := 50 + r.Intn(400)
+			pts := make([]geom.Point, n)
+			tr := New(2)
+			for i := range pts {
+				pts[i] = geom.Point{r.Float64() * 100, r.Float64() * 100}
+				tr.Insert(geom.PointRect(pts[i]), int64(i))
+			}
+			q := geom.Point{r.Float64() * 100, r.Float64() * 100}
+			k := 1 + r.Intn(20)
+			got := tr.Nearest(q, k, m)
+
+			type cand struct {
+				id int
+				d  float64
+			}
+			cands := make([]cand, n)
+			for i, p := range pts {
+				cands[i] = cand{i, geom.Dist(m, p, q)}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+			if len(got) != k {
+				t.Fatalf("%v: got %d results, want %d", m, len(got), k)
+			}
+			for i := range got {
+				// Compare distances, not ids (ties may reorder).
+				if diff := got[i].Dist - cands[i].d; diff > 1e-9 || diff < -1e-9 {
+					t.Fatalf("%v: result %d dist %v, brute force %v", m, i, got[i].Dist, cands[i].d)
+				}
+			}
+		}
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r := geom.NewRect(geom.Point{0, 0}, geom.Point{2, 2})
+	cases := []struct {
+		p    geom.Point
+		m    geom.Metric
+		want float64
+	}{
+		{geom.Point{1, 1}, geom.L2, 0},    // inside
+		{geom.Point{2, 2}, geom.L2, 0},    // corner
+		{geom.Point{5, 2}, geom.L2, 3},    // axis gap
+		{geom.Point{5, 6}, geom.L2, 5},    // 3-4-5 diagonal
+		{geom.Point{5, 6}, geom.L1, 7},    // 3 + 4
+		{geom.Point{5, 6}, geom.LInf, 4},  // max(3, 4)
+		{geom.Point{-1, 1}, geom.LInf, 1}, // single-axis gap
+	}
+	for _, c := range cases {
+		if got := geom.MinDist(c.m, c.p, r); got != c.want {
+			t.Errorf("MinDist(%v, %v) = %v, want %v", c.m, c.p, got, c.want)
+		}
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	r := rand.New(rand.NewSource(91))
+	tr := New(2)
+	for i := 0; i < 50000; i++ {
+		tr.Insert(geom.PointRect(geom.Point{r.Float64() * 1000, r.Float64() * 1000}), int64(i))
+	}
+	queries := make([]geom.Point, 256)
+	for i := range queries {
+		queries[i] = geom.Point{r.Float64() * 1000, r.Float64() * 1000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(queries[i%len(queries)], 10, geom.L2)
+	}
+}

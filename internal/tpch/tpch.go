@@ -1,0 +1,257 @@
+// Package tpch generates deterministic TPC-H-style data for the evaluation
+// queries of the paper's §8 (Table 2, Figures 10 and 12).
+//
+// It is a substitution for the official dbgen tool: the schema is restricted
+// to exactly the columns the evaluation queries touch, the cardinality
+// ratios between tables follow TPC-H (customers : orders : lineitems ≈
+// 1 : 10 : 40, suppliers at 1/15 of customers, partsupp at 4 parts per
+// supplier ratio), and the row budget is scaled so a laptop can sweep scale
+// factors in seconds. Value distributions (uniform keys, account balances in
+// [-999.99, 9999.99], prices, discounts, date ranges) mirror the TPC-H
+// specification.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sgb/internal/engine"
+)
+
+// Config parameterizes a generation run.
+type Config struct {
+	// SF is the scale factor; table sizes grow linearly with it, exactly
+	// like TPC-H's dbgen.
+	SF float64
+	// CustomersPerSF is the customer rows per unit scale factor. The TPC-H
+	// value is 150000; the default here is 1500 (a 1:100 shrink) so that
+	// SF sweeps up to 60 stay laptop-sized. Set it to 150000 to generate
+	// spec-sized data.
+	CustomersPerSF int
+	// Seed makes generation reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SF <= 0 {
+		c.SF = 1
+	}
+	if c.CustomersPerSF <= 0 {
+		c.CustomersPerSF = 1500
+	}
+	return c
+}
+
+// Data holds the generated relations as engine rows.
+type Data struct {
+	Nations   []engine.Row // n_nationkey, n_name
+	Customers []engine.Row // c_custkey, c_name, c_acctbal, c_nationkey
+	Orders    []engine.Row // o_orderkey, o_custkey, o_totalprice, o_orderdate
+	Lineitems []engine.Row // l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice, l_discount, l_shipdate, l_receiptdate
+	Suppliers []engine.Row // s_suppkey, s_name, s_acctbal, s_nationkey
+	PartSupps []engine.Row // ps_partkey, ps_suppkey, ps_supplycost, ps_availqty
+}
+
+// Counts summarizes the generated cardinalities.
+func (d *Data) Counts() map[string]int {
+	return map[string]int{
+		"nation":   len(d.Nations),
+		"customer": len(d.Customers),
+		"orders":   len(d.Orders),
+		"lineitem": len(d.Lineitems),
+		"supplier": len(d.Suppliers),
+		"partsupp": len(d.PartSupps),
+	}
+}
+
+var nationNames = []string{
+	"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+	"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+	"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+	"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+	"UNITED STATES",
+}
+
+// Date range used by TPC-H: 1992-01-01 .. 1998-12-31, expressed as day
+// numbers since 1970-01-01.
+const (
+	dateLo = 8035  // 1992-01-01
+	dateHi = 10591 // 1998-12-31
+)
+
+// Generate produces a dataset for the given configuration.
+func Generate(cfg Config) *Data {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	d := &Data{}
+
+	nCustomers := int(float64(cfg.CustomersPerSF) * cfg.SF)
+	if nCustomers < 1 {
+		nCustomers = 1
+	}
+	nOrders := nCustomers * 10
+	nSuppliers := nCustomers / 15
+	if nSuppliers < 1 {
+		nSuppliers = 1
+	}
+	nParts := nSuppliers * 20
+	if nParts < 1 {
+		nParts = 1
+	}
+
+	for i, name := range nationNames {
+		d.Nations = append(d.Nations, engine.Row{
+			engine.NewInt(int64(i)), engine.NewString(name),
+		})
+	}
+
+	for i := 1; i <= nCustomers; i++ {
+		d.Customers = append(d.Customers, engine.Row{
+			engine.NewInt(int64(i)),
+			engine.NewString(fmt.Sprintf("Customer#%09d", i)),
+			engine.NewFloat(roundCents(-999.99 + r.Float64()*(9999.99+999.99))),
+			engine.NewInt(int64(r.Intn(len(nationNames)))),
+		})
+	}
+
+	for i := 1; i <= nSuppliers; i++ {
+		d.Suppliers = append(d.Suppliers, engine.Row{
+			engine.NewInt(int64(i)),
+			engine.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			engine.NewFloat(roundCents(-999.99 + r.Float64()*(9999.99+999.99))),
+			engine.NewInt(int64(r.Intn(len(nationNames)))),
+		})
+	}
+
+	// partsupp: each part is stocked by 4 suppliers (TPC-H ratio).
+	for p := 1; p <= nParts; p++ {
+		for s := 0; s < 4; s++ {
+			supp := (p+s*(nSuppliers/4+1))%nSuppliers + 1
+			d.PartSupps = append(d.PartSupps, engine.Row{
+				engine.NewInt(int64(p)),
+				engine.NewInt(int64(supp)),
+				engine.NewFloat(roundCents(1 + r.Float64()*999)),
+				engine.NewInt(int64(1 + r.Intn(9999))),
+			})
+		}
+	}
+
+	// orders and lineitems: 1..7 lineitems per order (TPC-H averages 4).
+	lineNo := 0
+	for o := 1; o <= nOrders; o++ {
+		cust := int64(1 + r.Intn(nCustomers))
+		orderDate := int64(dateLo + r.Intn(dateHi-dateLo-60))
+		nLines := 1 + r.Intn(7)
+		var total float64
+		for l := 0; l < nLines; l++ {
+			part := int64(1 + r.Intn(nParts))
+			// One of the part's four suppliers.
+			supp := (int(part)+r.Intn(4)*(nSuppliers/4+1))%nSuppliers + 1
+			qty := float64(1 + r.Intn(50))
+			price := roundCents(qty * (900 + r.Float64()*100 + float64(part%1000)))
+			disc := float64(r.Intn(11)) / 100
+			ship := orderDate + int64(1+r.Intn(121))
+			receipt := ship + int64(1+r.Intn(30))
+			d.Lineitems = append(d.Lineitems, engine.Row{
+				engine.NewInt(int64(o)),
+				engine.NewInt(part),
+				engine.NewInt(int64(supp)),
+				engine.NewFloat(qty),
+				engine.NewFloat(price),
+				engine.NewFloat(disc),
+				engine.NewInt(ship),
+				engine.NewInt(receipt),
+			})
+			total += price * (1 - disc)
+			lineNo++
+		}
+		d.Orders = append(d.Orders, engine.Row{
+			engine.NewInt(int64(o)),
+			engine.NewInt(cust),
+			engine.NewFloat(roundCents(total)),
+			engine.NewInt(orderDate),
+		})
+	}
+	return d
+}
+
+func roundCents(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+// Schemas returns the CREATE TABLE layouts of the TPC-H subset.
+func Schemas() map[string]engine.Schema {
+	return map[string]engine.Schema{
+		"nation": {
+			{Name: "n_nationkey", T: engine.TypeInt},
+			{Name: "n_name", T: engine.TypeString},
+		},
+		"customer": {
+			{Name: "c_custkey", T: engine.TypeInt},
+			{Name: "c_name", T: engine.TypeString},
+			{Name: "c_acctbal", T: engine.TypeFloat},
+			{Name: "c_nationkey", T: engine.TypeInt},
+		},
+		"orders": {
+			{Name: "o_orderkey", T: engine.TypeInt},
+			{Name: "o_custkey", T: engine.TypeInt},
+			{Name: "o_totalprice", T: engine.TypeFloat},
+			{Name: "o_orderdate", T: engine.TypeInt},
+		},
+		"lineitem": {
+			{Name: "l_orderkey", T: engine.TypeInt},
+			{Name: "l_partkey", T: engine.TypeInt},
+			{Name: "l_suppkey", T: engine.TypeInt},
+			{Name: "l_quantity", T: engine.TypeFloat},
+			{Name: "l_extendedprice", T: engine.TypeFloat},
+			{Name: "l_discount", T: engine.TypeFloat},
+			{Name: "l_shipdate", T: engine.TypeInt},
+			{Name: "l_receiptdate", T: engine.TypeInt},
+		},
+		"supplier": {
+			{Name: "s_suppkey", T: engine.TypeInt},
+			{Name: "s_name", T: engine.TypeString},
+			{Name: "s_acctbal", T: engine.TypeFloat},
+			{Name: "s_nationkey", T: engine.TypeInt},
+		},
+		"partsupp": {
+			{Name: "ps_partkey", T: engine.TypeInt},
+			{Name: "ps_suppkey", T: engine.TypeInt},
+			{Name: "ps_supplycost", T: engine.TypeFloat},
+			{Name: "ps_availqty", T: engine.TypeInt},
+		},
+	}
+}
+
+// Load creates the TPC-H tables in db and bulk-loads the dataset.
+func (d *Data) Load(db *engine.DB) error {
+	cat := db.Catalog()
+	for name, schema := range Schemas() {
+		if _, err := cat.Create(name, schema); err != nil {
+			return err
+		}
+	}
+	load := func(name string, rows []engine.Row) error {
+		t, err := cat.Get(name)
+		if err != nil {
+			return err
+		}
+		return t.Insert(rows...)
+	}
+	if err := load("nation", d.Nations); err != nil {
+		return err
+	}
+	if err := load("customer", d.Customers); err != nil {
+		return err
+	}
+	if err := load("orders", d.Orders); err != nil {
+		return err
+	}
+	if err := load("lineitem", d.Lineitems); err != nil {
+		return err
+	}
+	if err := load("supplier", d.Suppliers); err != nil {
+		return err
+	}
+	return load("partsupp", d.PartSupps)
+}

@@ -1,0 +1,124 @@
+package tpch
+
+import (
+	"reflect"
+	"testing"
+
+	"sgb/internal/engine"
+)
+
+func TestGenerateCardinalities(t *testing.T) {
+	d := Generate(Config{SF: 1, CustomersPerSF: 300, Seed: 1})
+	c := d.Counts()
+	if c["customer"] != 300 {
+		t.Fatalf("customers = %d", c["customer"])
+	}
+	if c["orders"] != 3000 {
+		t.Fatalf("orders = %d (want 10x customers)", c["orders"])
+	}
+	if c["nation"] != 25 {
+		t.Fatalf("nations = %d", c["nation"])
+	}
+	// Lineitems average ~4 per order.
+	ratio := float64(c["lineitem"]) / float64(c["orders"])
+	if ratio < 2.5 || ratio > 5.5 {
+		t.Fatalf("lineitem/order ratio = %v", ratio)
+	}
+	if c["partsupp"] == 0 || c["supplier"] == 0 {
+		t.Fatal("supplier-side tables empty")
+	}
+	// Scale factor scales linearly.
+	d2 := Generate(Config{SF: 2, CustomersPerSF: 300, Seed: 1})
+	if d2.Counts()["customer"] != 600 || d2.Counts()["orders"] != 6000 {
+		t.Fatalf("SF=2 counts: %v", d2.Counts())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{SF: 0.5, CustomersPerSF: 200, Seed: 7})
+	b := Generate(Config{SF: 0.5, CustomersPerSF: 200, Seed: 7})
+	if !reflect.DeepEqual(a.Customers, b.Customers) || !reflect.DeepEqual(a.Lineitems, b.Lineitems) {
+		t.Fatal("same seed produced different data")
+	}
+	c := Generate(Config{SF: 0.5, CustomersPerSF: 200, Seed: 8})
+	if reflect.DeepEqual(a.Customers, c.Customers) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestValueRanges(t *testing.T) {
+	d := Generate(Config{SF: 1, CustomersPerSF: 200, Seed: 2})
+	for _, r := range d.Customers {
+		bal := r[2].F
+		if bal < -999.99 || bal > 9999.99 {
+			t.Fatalf("c_acctbal out of spec range: %v", bal)
+		}
+	}
+	for _, r := range d.Lineitems {
+		if q := r[3].F; q < 1 || q > 50 {
+			t.Fatalf("l_quantity out of range: %v", q)
+		}
+		if disc := r[5].F; disc < 0 || disc > 0.10 {
+			t.Fatalf("l_discount out of range: %v", disc)
+		}
+		ship, receipt := r[6].I, r[7].I
+		if receipt <= ship {
+			t.Fatalf("receipt %d not after ship %d", receipt, ship)
+		}
+		if ship < dateLo || receipt > dateHi+200 {
+			t.Fatalf("dates out of range: %d..%d", ship, receipt)
+		}
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	d := Generate(Config{SF: 1, CustomersPerSF: 150, Seed: 3})
+	nCust := int64(len(d.Customers))
+	nSupp := int64(len(d.Suppliers))
+	orderKeys := map[int64]bool{}
+	for _, r := range d.Orders {
+		orderKeys[r[0].I] = true
+		if ck := r[1].I; ck < 1 || ck > nCust {
+			t.Fatalf("o_custkey %d out of range", ck)
+		}
+	}
+	for _, r := range d.Lineitems {
+		if !orderKeys[r[0].I] {
+			t.Fatalf("l_orderkey %d has no order", r[0].I)
+		}
+		if sk := r[2].I; sk < 1 || sk > nSupp {
+			t.Fatalf("l_suppkey %d out of range", sk)
+		}
+	}
+	for _, r := range d.PartSupps {
+		if sk := r[1].I; sk < 1 || sk > nSupp {
+			t.Fatalf("ps_suppkey %d out of range", sk)
+		}
+	}
+}
+
+func TestLoadAndQuery(t *testing.T) {
+	db := engine.NewDB()
+	d := Generate(Config{SF: 1, CustomersPerSF: 120, Seed: 4})
+	if err := d.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT count(*) FROM customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 120 {
+		t.Fatalf("customer count via SQL = %v", res.Rows[0][0])
+	}
+	// A representative join + aggregate exercises the loaded keys.
+	res, err = db.Query(`
+		SELECT count(*), sum(o_totalprice)
+		FROM customer, orders
+		WHERE c_custkey = o_custkey AND c_acctbal > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I == 0 {
+		t.Fatal("join produced no rows")
+	}
+}
