@@ -8,6 +8,8 @@
 //	sgbbench -exp all                 # everything, laptop-scale defaults
 //	sgbbench -exp fig9 -fig9n 100000  # a bigger ε sweep
 //	sgbbench -exp table2 -sf 4
+//	sgbbench -json BENCH_1.json       # fixed probe suite → machine-readable
+//	                                  # snapshot (wall times + SGB counters)
 //
 // The -full flag raises every size knob towards the paper's configuration
 // (minutes of runtime rather than seconds).
@@ -37,8 +39,18 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		full    = flag.Bool("full", false, "approach the paper's data sizes (much slower)")
 		csvDir  = flag.String("csvdir", "", "also write each report as CSV into this directory")
+		jsonOut = flag.String("json", "", "run the fixed probe suite and write a machine-readable metrics snapshot to this file (e.g. BENCH_1.json), instead of the experiments")
+		jsonN   = flag.Int("jsonn", 5000, "check-in count for the -json probe suite")
 	)
 	flag.Parse()
+
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *jsonN, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "sgbbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sgb/internal/checkin"
+	"sgb/internal/core"
+	"sgb/internal/engine"
+	"sgb/internal/obs"
+)
+
+// The JSON probe suite is a fixed, fast workload whose output is committed
+// as BENCH_<n>.json so the perf trajectory of the SGB pipeline is tracked
+// across PRs: each probe records its query shape, input size, ε, wall time,
+// and the cost counters of the paper's analysis (distance computations,
+// rectangle tests, window queries, merges), plus a full engine metrics
+// snapshot at the end of the run.
+
+// probeResult is one probe run in the JSON document.
+type probeResult struct {
+	Name          string  `json:"name"`
+	Query         string  `json:"query"`
+	Algorithm     string  `json:"algorithm"`
+	N             int     `json:"n"`
+	Eps           float64 `json:"eps"`
+	WallMS        float64 `json:"wall_ms"`
+	Rows          int     `json:"rows"`
+	DistanceComps int64   `json:"distance_comps"`
+	RectTests     int64   `json:"rect_tests"`
+	HullTests     int64   `json:"hull_tests"`
+	WindowQueries int64   `json:"window_queries"`
+	IndexUpdates  int64   `json:"index_updates"`
+	GroupsMerged  int64   `json:"groups_merged"`
+	Rounds        int     `json:"rounds"`
+}
+
+// benchDoc is the whole machine-readable snapshot.
+type benchDoc struct {
+	SchemaVersion int          `json:"schema_version"`
+	Dataset       string       `json:"dataset"`
+	N             int          `json:"n"`
+	Seed          int64        `json:"seed"`
+	Runs          []probeResult `json:"runs"`
+	Metrics       obs.Snapshot  `json:"metrics"`
+}
+
+// writeBenchJSON runs the probe suite and writes the document to path.
+func writeBenchJSON(path string, n int, seed int64) error {
+	db := engine.NewDB()
+	cs := checkin.Generate(checkin.Config{N: n, Seed: seed})
+	if err := checkin.Load(db, "checkins", cs); err != nil {
+		return err
+	}
+
+	const eps = 0.25
+	type probe struct {
+		name  string
+		query string
+		eps   float64
+		alg   core.Algorithm
+	}
+	probes := []probe{
+		{"sgb_all_join_any_l2_allpairs",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ALL L2 WITHIN %g ON-OVERLAP JOIN-ANY", eps),
+			eps, core.AllPairs},
+		{"sgb_all_join_any_l2_index",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ALL L2 WITHIN %g ON-OVERLAP JOIN-ANY", eps),
+			eps, core.IndexBounds},
+		{"sgb_all_eliminate_linf_index",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN %g ON-OVERLAP ELIMINATE", eps),
+			eps, core.IndexBounds},
+		{"sgb_all_form_new_group_linf_bounds",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN %g ON-OVERLAP FORM-NEW-GROUP", eps),
+			eps, core.BoundsChecking},
+		{"sgb_any_l2_index",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN %g", eps),
+			eps, core.IndexBounds},
+		{"hash_group_by_baseline",
+			"SELECT user_id, count(*) FROM checkins GROUP BY user_id",
+			0, core.IndexBounds},
+	}
+
+	doc := benchDoc{SchemaVersion: 1, Dataset: "checkin", N: n, Seed: seed}
+	for _, p := range probes {
+		db.SetSGBAlgorithm(p.alg)
+		start := time.Now()
+		res, err := db.Exec(p.query)
+		wall := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("probe %s: %w", p.name, err)
+		}
+		run := probeResult{
+			Name:      p.name,
+			Query:     p.query,
+			Algorithm: p.alg.String(),
+			N:         n,
+			Eps:       p.eps,
+			WallMS:    float64(wall.Nanoseconds()) / 1e6,
+			Rows:      len(res.Rows),
+		}
+		if s := db.LastSGBStats(); s != nil {
+			run.DistanceComps = s.DistanceComps
+			run.RectTests = s.RectTests
+			run.HullTests = s.HullTests
+			run.WindowQueries = s.WindowQueries
+			run.IndexUpdates = s.IndexUpdates
+			run.GroupsMerged = s.GroupsMerged
+			run.Rounds = s.Rounds
+		}
+		doc.Runs = append(doc.Runs, run)
+	}
+	doc.Metrics = db.Metrics().Snapshot()
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(doc)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return err
+}

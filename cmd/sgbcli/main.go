@@ -7,7 +7,9 @@
 //	\alg <name>          pick the SGB algorithm: allpairs | bounds | index
 //	\save <file>         snapshot the database to a file
 //	\open <file>         replace the session database with a snapshot
-//	\timing              toggle query timing
+//	\timing              toggle query timing (with parse/plan/execute spans)
+//	\stats               dump the engine metrics registry (Prometheus text)
+//	\slowlog <ms>        log queries slower than <ms> to stderr (0 disables)
 //	\q                   quit
 //
 // Example session:
@@ -31,11 +33,18 @@ import (
 	"sgb/internal/tpch"
 )
 
+// session bundles the shell's state: the database handle plus the
+// observability toggles.
+type session struct {
+	db      *engine.DB
+	timing  bool
+	slowLog time.Duration // 0 = disabled
+}
+
 func main() {
-	db := engine.NewDB()
+	s := &session{db: engine.NewDB()}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	timing := false
 	var buf strings.Builder
 
 	fmt.Println("similarity group-by shell — \\q to quit, \\load tpch 1 to get data")
@@ -51,7 +60,7 @@ func main() {
 		line := in.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(&db, trimmed, &timing) {
+			if !meta(s, trimmed) {
 				return
 			}
 			prompt()
@@ -66,30 +75,66 @@ func main() {
 		sql := strings.TrimSpace(buf.String())
 		buf.Reset()
 		start := time.Now()
-		res, err := db.Exec(sql)
+		res, err := s.db.Exec(sql)
 		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Println("error:", err)
 		} else {
 			printResult(res)
-			if timing {
-				fmt.Printf("(%v)\n", elapsed)
+			if s.timing {
+				if tr := s.db.LastTrace(); tr != nil {
+					fmt.Printf("(%v — %s)\n", elapsed, tr)
+				} else {
+					fmt.Printf("(%v)\n", elapsed)
+				}
 			}
+		}
+		if s.slowLog > 0 && elapsed >= s.slowLog {
+			fmt.Fprintf(os.Stderr, "slow query (%v): %s\n", elapsed, firstLine(sql))
 		}
 		prompt()
 	}
 }
 
+// firstLine compresses a statement to one log-friendly line.
+func firstLine(sql string) string {
+	sql = strings.Join(strings.Fields(sql), " ")
+	if len(sql) > 120 {
+		sql = sql[:117] + "..."
+	}
+	return sql
+}
+
 // meta handles a backslash command; it returns false on \q.
-func meta(dbp **engine.DB, cmd string, timing *bool) bool {
-	db := *dbp
+func meta(s *session, cmd string) bool {
+	db := s.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
 	case "\\q", "\\quit":
 		return false
 	case "\\timing":
-		*timing = !*timing
-		fmt.Println("timing:", *timing)
+		s.timing = !s.timing
+		fmt.Println("timing:", s.timing)
+	case "\\stats":
+		if err := db.Metrics().WritePrometheus(os.Stdout); err != nil {
+			fmt.Println("stats failed:", err)
+		}
+	case "\\slowlog":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\slowlog <milliseconds>  (0 disables)")
+			break
+		}
+		ms, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || ms < 0 {
+			fmt.Println("bad threshold:", fields[1])
+			break
+		}
+		s.slowLog = time.Duration(ms * float64(time.Millisecond))
+		if s.slowLog == 0 {
+			fmt.Println("slow-query log disabled")
+		} else {
+			fmt.Printf("logging queries slower than %v to stderr\n", s.slowLog)
+		}
 	case "\\tables":
 		for _, n := range db.Catalog().Names() {
 			t, _ := db.Catalog().Get(n)
@@ -146,7 +191,7 @@ func meta(dbp **engine.DB, cmd string, timing *bool) bool {
 			fmt.Println("open failed:", err)
 			break
 		}
-		*dbp = loaded
+		s.db = loaded
 		fmt.Println("opened", fields[1])
 	case "\\load":
 		if len(fields) != 3 {
@@ -200,6 +245,9 @@ func printResult(res *engine.Result) {
 	for i, c := range res.Columns {
 		widths[i] = len(c)
 	}
+	// EXPLAIN plans are one wide column; clipping them at 60 chars would
+	// cut off the actuals annotations.
+	isPlan := len(res.Columns) == 1 && res.Columns[0] == "plan"
 	const maxRows = 50
 	shown := res.Rows
 	if len(shown) > maxRows {
@@ -210,7 +258,7 @@ func printResult(res *engine.Result) {
 		cells[i] = make([]string, len(r))
 		for j, v := range r {
 			s := v.String()
-			if len(s) > 60 {
+			if len(s) > 60 && !isPlan {
 				s = s[:57] + "..."
 			}
 			cells[i][j] = s

@@ -27,10 +27,19 @@ import (
 // The result is identical to SGBAny (which the tests assert). workers <= 0
 // selects GOMAXPROCS. Options.Algorithm is ignored.
 func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, error) {
+	res, _, err := sgbAnyParallel(points, opt, workers)
+	return res, err
+}
+
+// sgbAnyParallel is the implementation behind SGBAnyParallel. It additionally
+// returns the per-worker partial Stats, which the driver folds into the
+// result via Stats.add — the same aggregation path a distributed deployment
+// would use, and the one the tests assert is lossless.
+func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []Stats, error) {
 	opt.Overlap = JoinAny
 	opt.Algorithm = IndexBounds
 	if err := opt.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -38,15 +47,15 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 	res := &Result{}
 	if len(points) == 0 {
 		res.Stats.Rounds = 1
-		return res, nil
+		return res, nil, nil
 	}
 	dim := len(points[0])
 	if dim == 0 {
-		return nil, fmt.Errorf("core: zero-dimensional point")
+		return nil, nil, fmt.Errorf("core: zero-dimensional point")
 	}
 	for i, p := range points {
 		if len(p) != dim {
-			return nil, fmt.Errorf("core: point %d: %w", i, ErrDimensionMismatch)
+			return nil, nil, fmt.Errorf("core: point %d: %w", i, ErrDimensionMismatch)
 		}
 	}
 
@@ -127,10 +136,12 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 		}
 	}
 
-	// Workers emit verified edges into per-worker buffers.
+	// Workers emit verified edges into per-worker buffers and keep their own
+	// partial Stats; the driver merges the partials with Stats.add below, so
+	// worker-side counters are never double-counted or dropped.
 	type edge struct{ a, b int32 }
 	edgeBufs := make([][]edge, workers)
-	var distComps int64
+	partStats := make([]Stats, workers)
 	var next int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -138,7 +149,7 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 		go func(w int) {
 			defer wg.Done()
 			var local []edge
-			var comps int64
+			var part Stats
 			for {
 				ci := atomic.AddInt64(&next, 1)
 				if ci >= int64(len(order)) {
@@ -146,10 +157,13 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 				}
 				key := order[ci]
 				members := cells[key]
+				// Each cell is owned by exactly one worker, so counting its
+				// members here partitions Points across workers.
+				part.Points += len(members)
 				// Intra-cell pairs.
 				for i := 0; i < len(members); i++ {
 					for j := i + 1; j < len(members); j++ {
-						comps++
+						part.DistanceComps++
 						if geom.Within(opt.Metric, points[members[i]], points[members[j]], opt.Eps) {
 							local = append(local, edge{int32(members[i]), int32(members[j])})
 						}
@@ -168,7 +182,7 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 					}
 					for _, a := range members {
 						for _, b := range other {
-							comps++
+							part.DistanceComps++
 							if geom.Within(opt.Metric, points[a], points[b], opt.Eps) {
 								local = append(local, edge{int32(a), int32(b)})
 							}
@@ -177,7 +191,7 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 				}
 			}
 			edgeBufs[w] = local
-			atomic.AddInt64(&distComps, comps)
+			partStats[w] = part
 		}(w)
 	}
 	wg.Wait()
@@ -199,13 +213,14 @@ func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, err
 	sort.Slice(res.Groups, func(i, j int) bool {
 		return res.Groups[i].IDs[0] < res.Groups[j].IDs[0]
 	})
-	res.Stats = Stats{
-		Points:        len(points),
-		DistanceComps: distComps,
-		GroupsMerged:  merges,
-		Rounds:        1,
+	// Fold the per-worker partials; the merge phase runs on the driver, so
+	// GroupsMerged and the pass count are added on top.
+	for _, part := range partStats {
+		res.Stats.add(part)
 	}
-	return res, nil
+	res.Stats.GroupsMerged = merges
+	res.Stats.Rounds = 1
+	return res, partStats, nil
 }
 
 // appendInt appends a length-prefixed little-endian encoding of v, making

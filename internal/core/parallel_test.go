@@ -92,7 +92,7 @@ func TestParallelAnyDegenerate(t *testing.T) {
 func TestParallelAnyStats(t *testing.T) {
 	r := rand.New(rand.NewSource(101))
 	pts := randomPoints(r, 500, 2, 5)
-	res, err := SGBAnyParallel(pts, Options{Metric: geom.L2, Eps: 0.5}, 4)
+	res, parts, err := sgbAnyParallel(pts, Options{Metric: geom.L2, Eps: 0.5}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +102,57 @@ func TestParallelAnyStats(t *testing.T) {
 	// Groups + merges bookkeeping: n - merges = number of groups.
 	if int64(len(res.Groups)) != int64(500)-res.Stats.GroupsMerged {
 		t.Fatalf("%d groups but %d merges over 500 points", len(res.Groups), res.Stats.GroupsMerged)
+	}
+
+	// Stats.add over the per-partition (per-worker) stats must reproduce the
+	// result's aggregate exactly: the cells partition the input, so worker
+	// counters are disjoint and their sum is the whole.
+	if len(parts) != 4 {
+		t.Fatalf("%d partitions, want 4", len(parts))
+	}
+	var merged Stats
+	for _, p := range parts {
+		merged.add(p)
+	}
+	if merged.Points != res.Stats.Points {
+		t.Errorf("merged Points = %d, result reports %d", merged.Points, res.Stats.Points)
+	}
+	if merged.DistanceComps != res.Stats.DistanceComps {
+		t.Errorf("merged DistanceComps = %d, result reports %d", merged.DistanceComps, res.Stats.DistanceComps)
+	}
+	// The driver-side merge phase is the only source of GroupsMerged; the
+	// workers must not have claimed any.
+	if merged.GroupsMerged != 0 {
+		t.Errorf("workers reported %d merges; merging happens on the driver", merged.GroupsMerged)
+	}
+}
+
+// TestStatsAddCoversAllFields locks the contract between Stats.add and the
+// parallel executor: every counter field must be summed when partition stats
+// are folded together. Rounds is the one deliberate exception (it counts
+// grouping passes, not per-partition work). Reflection catches any future
+// Stats field that is added to the struct but forgotten in add.
+func TestStatsAddCoversAllFields(t *testing.T) {
+	var sum, part Stats
+	pv := reflect.ValueOf(&part).Elem()
+	for i := 0; i < pv.NumField(); i++ {
+		pv.Field(i).SetInt(int64(i + 1))
+	}
+	sum.add(part)
+	sum.add(part)
+	sv := reflect.ValueOf(&sum).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		name := sv.Type().Field(i).Name
+		got := sv.Field(i).Int()
+		if name == "Rounds" {
+			if got != 0 {
+				t.Errorf("Rounds must not be summed across partitions, got %d", got)
+			}
+			continue
+		}
+		if want := int64(2 * (i + 1)); got != want {
+			t.Errorf("Stats.add drops or miscounts field %s: got %d, want %d", name, got, want)
+		}
 	}
 }
 

@@ -2,8 +2,10 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
 	"sgb/internal/core"
+	"sgb/internal/obs"
 )
 
 // DB is the engine's top-level handle: a catalog plus session settings.
@@ -11,19 +13,45 @@ import (
 // synchronize externally (the benchmark harness and examples are
 // single-threaded, like the paper's single-session measurements).
 type DB struct {
-	cat    *Catalog
-	sgbAlg core.Algorithm
+	cat     *Catalog
+	sgbAlg  core.Algorithm
+	metrics *obs.Registry
 
 	// lastSGBStats holds the cost counters of the most recent SGB operator
 	// execution, when the last statement contained one.
 	lastSGBStats *core.Stats
+
+	// trace is the in-flight statement trace (set by Exec so the parse span
+	// survives into ExecStmt); lastTrace is the completed trace of the most
+	// recent statement.
+	trace     *obs.Trace
+	lastTrace *obs.Trace
 }
 
 // NewDB returns an empty database. The SGB physical algorithm defaults to
-// the on-the-fly index, the paper's best-performing variant.
+// the on-the-fly index, the paper's best-performing variant. Each DB owns
+// its metrics registry; callers wanting process-wide aggregation can swap in
+// obs.Default via SetMetrics.
 func NewDB() *DB {
-	return &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds}
+	return &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds, metrics: obs.NewRegistry()}
 }
+
+// Metrics exposes the engine's metrics registry: query/error counters,
+// latency histograms, and the cumulative SGB cost counters of the paper's
+// analysis (sgb_distance_comps_total and friends).
+func (db *DB) Metrics() *obs.Registry { return db.metrics }
+
+// SetMetrics replaces the metrics registry (e.g. with obs.Default to share
+// one registry across several DBs in a process). reg must not be nil.
+func (db *DB) SetMetrics(reg *obs.Registry) {
+	if reg != nil {
+		db.metrics = reg
+	}
+}
+
+// LastTrace returns the span trace (parse/plan/execute) of the most recent
+// statement, or nil before the first one.
+func (db *DB) LastTrace() *obs.Trace { return db.lastTrace }
 
 // Catalog exposes the table catalog for programmatic loading (the data
 // generators bypass SQL INSERT for bulk loads).
@@ -54,24 +82,77 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (db *DB) Exec(sql string) (*Result, error) {
+	tr := obs.NewTrace()
+	span := tr.StartSpan("parse")
 	stmt, err := Parse(sql)
+	span.End()
 	if err != nil {
+		db.trace = nil
+		db.lastTrace = tr
+		db.metrics.Counter("engine_parse_errors_total").Inc()
 		return nil, err
 	}
+	db.trace = tr
 	return db.ExecStmt(stmt)
 }
 
 // ExecStmt executes an already parsed statement.
 func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
+	tr := db.trace
+	db.trace = nil
+	if tr == nil {
+		tr = obs.NewTrace()
+	}
+	db.lastTrace = tr
+	db.metrics.Counter("engine_statements_total").Inc()
+	res, err := db.execStmt(stmt, tr)
+	if err != nil {
+		db.metrics.Counter("engine_errors_total").Inc()
+	}
+	return res, err
+}
+
+// recordQueryMetrics folds one executed query into the registry and stashes
+// the SGB cost counters for LastSGBStats and the trace annotations.
+func (db *DB) recordQueryMetrics(pc *planContext, tr *obs.Trace, dur time.Duration, rowsOut int) {
+	m := db.metrics
+	m.Counter("engine_queries_total").Inc()
+	m.Counter("engine_rows_returned_total").Add(int64(rowsOut))
+	m.Histogram("engine_query_seconds", obs.DefBuckets).Observe(dur.Seconds())
+	if n := len(pc.sgbOps); n > 0 {
+		stats := pc.sgbOps[n-1].lastStats
+		db.lastSGBStats = &stats
+	} else {
+		db.lastSGBStats = nil
+	}
+	for _, op := range pc.sgbOps {
+		s := op.lastStats
+		m.Counter("sgb_queries_total").Inc()
+		m.Counter("sgb_points_total").Add(int64(s.Points))
+		m.Counter("sgb_distance_comps_total").Add(s.DistanceComps)
+		m.Counter("sgb_rect_tests_total").Add(s.RectTests)
+		m.Counter("sgb_hull_tests_total").Add(s.HullTests)
+		m.Counter("sgb_window_queries_total").Add(s.WindowQueries)
+		m.Counter("sgb_index_updates_total").Add(s.IndexUpdates)
+		m.Counter("sgb_groups_merged_total").Add(s.GroupsMerged)
+		m.Counter("sgb_rounds_total").Add(int64(s.Rounds))
+		tr.Annotate("points=%d distance_comps=%d rounds=%d",
+			s.Points, s.DistanceComps, s.Rounds)
+	}
+}
+
+func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 	switch stmt := stmt.(type) {
 	case *CreateTableStmt:
 		if _, err := db.cat.Create(stmt.Name, stmt.Columns); err != nil {
 			return nil, err
 		}
+		db.metrics.Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
 		return &Result{}, nil
 
 	case *DropTableStmt:
 		db.cat.Drop(stmt.Name)
+		db.metrics.Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
 		return &Result{}, nil
 
 	case *CreateViewStmt:
@@ -269,29 +350,59 @@ func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
 
 	case *ExplainStmt:
 		pc := &planContext{db: db}
+		span := tr.StartSpan("plan")
+		planStart := time.Now()
 		op, err := pc.planSelect(stmt.Query)
+		planDur := time.Since(planStart)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
 		res := &Result{Columns: []string{"plan"}}
-		for _, line := range explainPlan(op) {
+		if !stmt.Analyze {
+			for _, line := range explainPlan(op) {
+				res.Rows = append(res.Rows, Row{NewString(line)})
+			}
+			return res, nil
+		}
+		// EXPLAIN ANALYZE: wrap every operator, run the query to completion
+		// (discarding its rows), and render the annotated tree.
+		root := instrument(op)
+		span = tr.StartSpan("execute")
+		execStart := time.Now()
+		rows, err := drain(root)
+		execDur := time.Since(execStart)
+		span.End()
+		if err != nil {
+			return nil, err
+		}
+		db.recordQueryMetrics(pc, tr, execDur, len(rows))
+		for _, line := range explainPlan(root) {
 			res.Rows = append(res.Rows, Row{NewString(line)})
 		}
+		res.Rows = append(res.Rows,
+			Row{NewString(fmt.Sprintf("Planning Time: %.3f ms", float64(planDur.Nanoseconds())/1e6))},
+			Row{NewString(fmt.Sprintf("Execution Time: %.3f ms", float64(execDur.Nanoseconds())/1e6))})
 		return res, nil
 
 	case *SelectStmt:
 		pc := &planContext{db: db}
-		rows, sch, err := pc.run(stmt)
+		span := tr.StartSpan("plan")
+		op, err := pc.planSelect(stmt)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
-		if n := len(pc.sgbOps); n > 0 {
-			stats := pc.sgbOps[n-1].lastStats
-			db.lastSGBStats = &stats
-		} else {
-			db.lastSGBStats = nil
+		span = tr.StartSpan("execute")
+		execStart := time.Now()
+		rows, err := drain(op)
+		execDur := time.Since(execStart)
+		span.End()
+		if err != nil {
+			return nil, err
 		}
-		return &Result{Columns: sch.Names(), Rows: rows}, nil
+		db.recordQueryMetrics(pc, tr, execDur, len(rows))
+		return &Result{Columns: op.schema().Names(), Rows: rows}, nil
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
 }

@@ -150,10 +150,11 @@ type hashJoinOp struct {
 	leftKeys, rightKeys []evalFn
 	sch                 Schema
 
-	table   map[string][]Row // build side (right)
-	probing Row              // current left row
-	matches []Row
-	matchI  int
+	table     map[string][]Row // build side (right)
+	buildRows int              // rows hashed into the build side
+	probing   Row              // current left row
+	matches   []Row
+	matchI    int
 }
 
 func newHashJoinOp(left, right operator, lk, rk []evalFn) *hashJoinOp {
@@ -168,6 +169,7 @@ func (j *hashJoinOp) open() error {
 		return err
 	}
 	j.table = make(map[string][]Row)
+	j.buildRows = 0
 	for {
 		r, err := j.right.next()
 		if err == io.EOF {
@@ -186,6 +188,7 @@ func (j *hashJoinOp) open() error {
 			continue // NULL keys never match
 		}
 		j.table[key] = append(j.table[key], r)
+		j.buildRows++
 	}
 	if err := j.right.close(); err != nil {
 		return err
@@ -395,6 +398,11 @@ type hashAggOp struct {
 
 	rows []Row
 	pos  int
+
+	// inRows and nGroups record the actual input cardinality and hash-table
+	// size of the last execution, for EXPLAIN ANALYZE.
+	inRows  int64
+	nGroups int
 }
 
 func (a *hashAggOp) schema() Schema { return a.sch }
@@ -411,6 +419,7 @@ func (a *hashAggOp) open() error {
 	}
 	buckets := make(map[string]*bucket)
 	var order []string
+	a.inRows = 0
 	for {
 		r, err := a.child.next()
 		if err == io.EOF {
@@ -419,6 +428,7 @@ func (a *hashAggOp) open() error {
 		if err != nil {
 			return err
 		}
+		a.inRows++
 		keyVals := make([]Value, len(a.groupExprs))
 		for i, g := range a.groupExprs {
 			if keyVals[i], err = g(r); err != nil {
@@ -449,6 +459,7 @@ func (a *hashAggOp) open() error {
 		buckets[""] = &bucket{acc: acc}
 		order = append(order, "")
 	}
+	a.nGroups = len(buckets)
 	a.rows = a.rows[:0]
 	for _, key := range order {
 		b := buckets[key]
@@ -493,8 +504,11 @@ type sgbAggOp struct {
 	pos  int
 
 	// LastStats exposes the core grouper's cost counters for the most
-	// recent execution, used by the benchmark harness.
-	lastStats core.Stats
+	// recent execution, used by the benchmark harness, the metrics
+	// registry, and EXPLAIN ANALYZE. lastDropped counts the tuples
+	// discarded by ON-OVERLAP ELIMINATE.
+	lastStats   core.Stats
+	lastDropped int
 }
 
 func (a *sgbAggOp) schema() Schema { return a.sch }
@@ -566,6 +580,7 @@ func (a *sgbAggOp) open() error {
 		return err
 	}
 	a.lastStats = res.Stats
+	a.lastDropped = len(res.Dropped)
 	for _, grp := range res.Groups {
 		acc, err := newGroupAccumulator(a.calls)
 		if err != nil {

@@ -123,11 +123,14 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDropTable()
 	case p.peekKeyword("EXPLAIN"):
 		p.next()
+		// ANALYZE is contextual, not reserved: it only acts as a keyword
+		// directly after EXPLAIN, so columns named "analyze" keep working.
+		analyze := p.acceptKeyword("ANALYZE")
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel}, nil
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
 	case p.peekKeyword("COPY"):
 		return p.parseCopy()
 	case p.peekKeyword("UPDATE"):

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("queries_total") != c {
+		t.Fatal("Counter did not return the existing instance")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("tables")
+	g.Set(3)
+	g.Add(2)
+	g.Add(-1)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["latency_seconds"]
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if s.Sum != 5.555 {
+		t.Fatalf("sum = %v, want 5.555", s.Sum)
+	}
+	// Cumulative bucket semantics: <=0.01 sees 1, <=0.1 sees 2, <=1 sees 3.
+	want := []int64{1, 2, 3}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	s := r.Snapshot()
+	r.Counter("a").Inc()
+	if s.Counters["a"] != 1 {
+		t.Fatalf("snapshot mutated after the fact: %d", s.Counters["a"])
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine_queries_total").Add(7)
+	r.Gauge("engine_catalog_tables").Set(2)
+	r.Histogram("engine_query_seconds", []float64{0.1, 1}).Observe(0.05)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE engine_queries_total counter",
+		"engine_queries_total 7",
+		"# TYPE engine_catalog_tables gauge",
+		"engine_catalog_tables 2",
+		"# TYPE engine_query_seconds histogram",
+		`engine_query_seconds_bucket{le="0.1"} 1`,
+		`engine_query_seconds_bucket{le="+Inf"} 1`,
+		"engine_query_seconds_sum 0.05",
+		"engine_query_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", DefBuckets).Observe(0.001)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr := NewTrace()
+	s := tr.StartSpan("parse")
+	time.Sleep(time.Millisecond)
+	s.End()
+	first := s.Dur
+	if first <= 0 {
+		t.Fatal("span duration not recorded")
+	}
+	s.End() // second End keeps the first duration
+	if s.Dur != first {
+		t.Fatal("double End overwrote the duration")
+	}
+	tr.StartSpan("execute").End()
+	tr.Annotate("distance_comps=%d", 42)
+	out := tr.String()
+	for _, want := range []string{"parse=", "execute=", "distance_comps=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace %q missing %q", out, want)
+		}
+	}
+	if len(tr.Spans()) != 2 || len(tr.Notes()) != 1 {
+		t.Fatalf("spans=%d notes=%d", len(tr.Spans()), len(tr.Notes()))
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Span is one timed phase of a query (parse, plan, execute).
+type Span struct {
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+
+	ended bool
+}
+
+// End stops the span's clock. Calling End twice keeps the first duration.
+func (s *Span) End() {
+	if !s.ended {
+		s.Dur = time.Since(s.Start)
+		s.ended = true
+	}
+}
+
+// Trace records the timed phases of a single statement plus free-form
+// annotations (e.g. the SGB cost counters of the run). It is owned by one
+// session and is not safe for concurrent use, matching the engine's
+// single-session execution model.
+type Trace struct {
+	spans []*Span
+	notes []string
+}
+
+// NewTrace starts an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// StartSpan begins a named span; the caller must End it.
+func (t *Trace) StartSpan(name string) *Span {
+	s := &Span{Name: name, Start: time.Now()}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Annotate attaches a formatted note to the trace.
+func (t *Trace) Annotate(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Spans returns the recorded spans in start order.
+func (t *Trace) Spans() []*Span { return t.spans }
+
+// Notes returns the attached annotations.
+func (t *Trace) Notes() []string { return t.notes }
+
+// String renders the trace as a one-line breakdown, e.g.
+// "parse=0.021ms plan=0.105ms execute=3.2ms; distance_comps=1234".
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for i, s := range t.spans {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", s.Name, fmtSpanDur(s.Dur))
+	}
+	for i, n := range t.notes {
+		if i == 0 {
+			sb.WriteString("; ")
+		} else {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(n)
+	}
+	return sb.String()
+}
+
+func fmtSpanDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%.3fms", float64(d.Nanoseconds())/1e6)
+	}
+}
