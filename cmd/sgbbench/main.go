@@ -41,11 +41,12 @@ func main() {
 		csvDir  = flag.String("csvdir", "", "also write each report as CSV into this directory")
 		jsonOut = flag.String("json", "", "run the fixed probe suite and write a machine-readable metrics snapshot to this file (e.g. BENCH_1.json), instead of the experiments")
 		jsonN   = flag.Int("jsonn", 5000, "check-in count for the -json probe suite")
+		timeout = flag.Duration("timeout", 0, "per-probe wall-clock bound for the -json suite; a probe exceeding it fails the run (0 = unbounded)")
 	)
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *jsonN, *seed); err != nil {
+		if err := writeBenchJSON(*jsonOut, *jsonN, *seed, *timeout); err != nil {
 			fmt.Fprintln(os.Stderr, "sgbbench:", err)
 			os.Exit(1)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -47,8 +48,11 @@ type benchDoc struct {
 	Metrics       obs.Snapshot  `json:"metrics"`
 }
 
-// writeBenchJSON runs the probe suite and writes the document to path.
-func writeBenchJSON(path string, n int, seed int64) error {
+// writeBenchJSON runs the probe suite and writes the document to path. A
+// non-zero timeout bounds each probe's execution through the engine's
+// cancellation machinery, so a runaway probe aborts mid-query rather than
+// hanging the suite.
+func writeBenchJSON(path string, n int, seed int64, timeout time.Duration) error {
 	db := engine.NewDB()
 	cs := checkin.Generate(checkin.Config{N: n, Seed: seed})
 	if err := checkin.Load(db, "checkins", cs); err != nil {
@@ -86,9 +90,14 @@ func writeBenchJSON(path string, n int, seed int64) error {
 	doc := benchDoc{SchemaVersion: 1, Dataset: "checkin", N: n, Seed: seed}
 	for _, p := range probes {
 		db.SetSGBAlgorithm(p.alg)
+		ctx, cancel := context.Background(), func() {}
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
 		start := time.Now()
-		res, err := db.Exec(p.query)
+		res, err := db.ExecContext(ctx, p.query)
 		wall := time.Since(start)
+		cancel()
 		if err != nil {
 			return fmt.Errorf("probe %s: %w", p.name, err)
 		}

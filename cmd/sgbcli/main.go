@@ -10,7 +10,13 @@
 //	\timing              toggle query timing (with parse/plan/execute spans)
 //	\stats               dump the engine metrics registry (Prometheus text)
 //	\slowlog <ms>        log queries slower than <ms> to stderr (0 disables)
+//	\limits rows <n> | time <dur> | off
+//	                     set per-query resource limits (no args: show)
 //	\q                   quit
+//
+// Ctrl-C while a statement is executing cancels that statement (the query
+// returns a cancellation error and the shell keeps running); Ctrl-C at the
+// prompt exits the shell.
 //
 // Example session:
 //
@@ -21,8 +27,11 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"time"
@@ -75,10 +84,14 @@ func main() {
 		sql := strings.TrimSpace(buf.String())
 		buf.Reset()
 		start := time.Now()
-		res, err := s.db.Exec(sql)
+		res, err := execInterruptible(s.db, sql)
 		elapsed := time.Since(start)
 		if err != nil {
-			fmt.Println("error:", err)
+			if errors.Is(err, context.Canceled) {
+				fmt.Printf("canceled after %v\n", elapsed.Round(time.Millisecond))
+			} else {
+				fmt.Println("error:", err)
+			}
 		} else {
 			printResult(res)
 			if s.timing {
@@ -94,6 +107,16 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// execInterruptible runs one statement with SIGINT wired to query
+// cancellation: Ctrl-C mid-query aborts the statement instead of the shell.
+// The signal registration is scoped to the statement, so Ctrl-C at the idle
+// prompt keeps its default exit behaviour.
+func execInterruptible(db *engine.DB, sql string) (*engine.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	return db.ExecContext(ctx, sql)
 }
 
 // firstLine compresses a statement to one log-friendly line.
@@ -119,6 +142,39 @@ func meta(s *session, cmd string) bool {
 		if err := db.Metrics().WritePrometheus(os.Stdout); err != nil {
 			fmt.Println("stats failed:", err)
 		}
+	case "\\limits":
+		lim := db.Limits()
+		switch {
+		case len(fields) == 1:
+		case len(fields) == 2 && fields[1] == "off":
+			lim = engine.Limits{}
+		case len(fields) == 3 && fields[1] == "rows":
+			n, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil || n < 0 {
+				fmt.Println("bad row limit:", fields[2])
+				return true
+			}
+			lim.MaxRowsMaterialized = n
+		case len(fields) == 3 && fields[1] == "time":
+			d, err := time.ParseDuration(fields[2])
+			if err != nil || d < 0 {
+				fmt.Println("bad time limit:", fields[2])
+				return true
+			}
+			lim.MaxExecutionTime = d
+		default:
+			fmt.Println("usage: \\limits [rows <n> | time <duration> | off]")
+			return true
+		}
+		db.SetLimits(lim)
+		rows, dur := "unlimited", "unlimited"
+		if lim.MaxRowsMaterialized > 0 {
+			rows = strconv.FormatInt(lim.MaxRowsMaterialized, 10)
+		}
+		if lim.MaxExecutionTime > 0 {
+			dur = lim.MaxExecutionTime.String()
+		}
+		fmt.Printf("limits: rows=%s time=%s\n", rows, dur)
 	case "\\slowlog":
 		if len(fields) != 2 {
 			fmt.Println("usage: \\slowlog <milliseconds>  (0 disables)")

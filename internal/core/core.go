@@ -23,6 +23,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -152,6 +153,22 @@ func (o Options) Validate() error {
 // ErrDimensionMismatch is returned when points of different dimensionality
 // are fed to one operator instance.
 var ErrDimensionMismatch = errors.New("core: point dimension mismatch")
+
+// ErrNonFiniteCoordinate is returned when a point contains NaN or ±Inf. Such
+// coordinates would silently corrupt ε-rectangles and distance predicates
+// (NaN compares false against everything), so the operators reject them at
+// the door instead of producing wrong groups.
+var ErrNonFiniteCoordinate = errors.New("core: non-finite coordinate")
+
+// checkFinite rejects NaN/±Inf coordinates with ErrNonFiniteCoordinate.
+func checkFinite(p geom.Point) error {
+	for i, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("coordinate %d is %v: %w", i+1, v, ErrNonFiniteCoordinate)
+		}
+	}
+	return nil
+}
 
 // Group is one output group, identified by the indexes of its member points
 // in input order.

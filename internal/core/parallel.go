@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -27,15 +29,31 @@ import (
 // The result is identical to SGBAny (which the tests assert). workers <= 0
 // selects GOMAXPROCS. Options.Algorithm is ignored.
 func SGBAnyParallel(points []geom.Point, opt Options, workers int) (*Result, error) {
-	res, _, err := sgbAnyParallel(points, opt, workers)
+	res, _, err := sgbAnyParallel(context.Background(), points, opt, workers)
 	return res, err
+}
+
+// SGBAnyParallelCtx is SGBAnyParallel with a cancellation context: once ctx
+// is done the workers drain out and the call returns ctx.Err() instead of a
+// partial result.
+func SGBAnyParallelCtx(ctx context.Context, points []geom.Point, opt Options, workers int) (*Result, error) {
+	res, _, err := sgbAnyParallel(ctx, points, opt, workers)
+	return res, err
+}
+
+// gridCoord is the ε-grid cell index of coordinate v: floor(v/eps). Using
+// math.Floor (rather than truncation patched up with a float-equality test)
+// keeps boundary-straddling coordinates — negative values, exact multiples
+// of ε — in their canonical cell, so no ε-edge can be dropped at a cell wall.
+func gridCoord(v, eps float64) int64 {
+	return int64(math.Floor(v / eps))
 }
 
 // sgbAnyParallel is the implementation behind SGBAnyParallel. It additionally
 // returns the per-worker partial Stats, which the driver folds into the
 // result via Stats.add — the same aggregation path a distributed deployment
 // would use, and the one the tests assert is lossless.
-func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []Stats, error) {
+func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, workers int) (*Result, []Stats, error) {
 	opt.Overlap = JoinAny
 	opt.Algorithm = IndexBounds
 	if err := opt.Validate(); err != nil {
@@ -57,6 +75,9 @@ func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []S
 		if len(p) != dim {
 			return nil, nil, fmt.Errorf("core: point %d: %w", i, ErrDimensionMismatch)
 		}
+		if err := checkFinite(p); err != nil {
+			return nil, nil, fmt.Errorf("core: point %d: %w", i, err)
+		}
 	}
 
 	// Build the grid: cell key -> member ids. Cell side = ε guarantees that
@@ -67,22 +88,14 @@ func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []S
 		// A compact integer encoding of the per-axis cell coordinates.
 		buf := make([]byte, 0, dim*10)
 		for _, v := range p {
-			c := int64(v / opt.Eps)
-			if v < 0 && v != float64(c)*opt.Eps {
-				c-- // floor for negatives
-			}
-			buf = appendInt(buf, c)
+			buf = appendInt(buf, gridCoord(v, opt.Eps))
 		}
 		return cellKey(buf)
 	}
 	coordsOf := func(p geom.Point) []int64 {
 		out := make([]int64, dim)
 		for i, v := range p {
-			c := int64(v / opt.Eps)
-			if v < 0 && v != float64(c)*opt.Eps {
-				c--
-			}
-			out[i] = c
+			out[i] = gridCoord(v, opt.Eps)
 		}
 		return out
 	}
@@ -142,6 +155,15 @@ func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []S
 	type edge struct{ a, b int32 }
 	edgeBufs := make([][]edge, workers)
 	partStats := make([]Stats, workers)
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	var next int64 = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -152,7 +174,7 @@ func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []S
 			var part Stats
 			for {
 				ci := atomic.AddInt64(&next, 1)
-				if ci >= int64(len(order)) {
+				if ci >= int64(len(order)) || canceled() {
 					break
 				}
 				key := order[ci]
@@ -195,6 +217,9 @@ func sgbAnyParallel(points []geom.Point, opt Options, workers int) (*Result, []S
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	uf := unionfind.New(len(points))
 	var merges int64

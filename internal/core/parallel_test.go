@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -92,7 +93,7 @@ func TestParallelAnyDegenerate(t *testing.T) {
 func TestParallelAnyStats(t *testing.T) {
 	r := rand.New(rand.NewSource(101))
 	pts := randomPoints(r, 500, 2, 5)
-	res, parts, err := sgbAnyParallel(pts, Options{Metric: geom.L2, Eps: 0.5}, 4)
+	res, parts, err := sgbAnyParallel(context.Background(), pts, Options{Metric: geom.L2, Eps: 0.5}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

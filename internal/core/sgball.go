@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -8,6 +9,11 @@ import (
 	"sgb/internal/hull"
 	"sgb/internal/rtree"
 )
+
+// ctxCheckStride is how many Add/processPoint steps a grouper takes between
+// context polls: frequent enough that a canceled multi-second run aborts in
+// well under a second, rare enough to keep the hot path branch-predictable.
+const ctxCheckStride = 1024
 
 // allGroup is one live SGB-All group under construction.
 type allGroup struct {
@@ -42,6 +48,11 @@ type AllGrouper struct {
 	stats    Stats
 	useHull  bool
 	finished bool
+
+	// ctx, when set via WithContext, lets a canceled or deadline-expired
+	// query abort the grouping mid-stream; ctxTick strides the polls.
+	ctx     context.Context
+	ctxTick uint64
 }
 
 // NewAllGrouper returns a streaming SGB-All operator configured by opt.
@@ -52,11 +63,36 @@ func NewAllGrouper(opt Options) (*AllGrouper, error) {
 	return &AllGrouper{opt: opt}, nil
 }
 
+// WithContext arms the grouper with a cancellation context: Add and Finish
+// return ctx.Err() promptly once ctx is done. It returns g for chaining.
+func (g *AllGrouper) WithContext(ctx context.Context) *AllGrouper {
+	g.ctx = ctx
+	return g
+}
+
+// checkCtx polls the context every ctxCheckStride calls.
+func (g *AllGrouper) checkCtx() error {
+	if g.ctx == nil {
+		return nil
+	}
+	g.ctxTick++
+	if g.ctxTick%ctxCheckStride != 0 {
+		return nil
+	}
+	return g.ctx.Err()
+}
+
 // Add feeds the next point, in input order, and returns its point id.
 // All points must share one dimensionality.
 func (g *AllGrouper) Add(p geom.Point) (int, error) {
 	if g.finished {
 		return 0, fmt.Errorf("core: Add after Finish")
+	}
+	if err := checkFinite(p); err != nil {
+		return 0, err
+	}
+	if err := g.checkCtx(); err != nil {
+		return 0, err
 	}
 	if g.dim == 0 {
 		if len(p) == 0 {
@@ -108,6 +144,9 @@ func (g *AllGrouper) Finish() (*Result, error) {
 		round := g.deferred
 		g.deferred = nil
 		for _, id := range round {
+			if err := g.checkCtx(); err != nil {
+				return nil, err
+			}
 			g.processPoint(id)
 		}
 		g.stats.Rounds++

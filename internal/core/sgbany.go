@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -22,6 +23,11 @@ type AnyGrouper struct {
 
 	stats    Stats
 	finished bool
+
+	// ctx, when set via WithContext, lets a canceled or deadline-expired
+	// query abort the grouping mid-stream; ctxTick strides the polls.
+	ctx     context.Context
+	ctxTick uint64
 }
 
 // NewAnyGrouper returns a streaming SGB-Any operator configured by opt. The
@@ -40,10 +46,35 @@ func NewAnyGrouper(opt Options) (*AnyGrouper, error) {
 	return &AnyGrouper{opt: opt, uf: &unionfind.Forest{}}, nil
 }
 
+// WithContext arms the grouper with a cancellation context: Add returns
+// ctx.Err() promptly once ctx is done. It returns g for chaining.
+func (g *AnyGrouper) WithContext(ctx context.Context) *AnyGrouper {
+	g.ctx = ctx
+	return g
+}
+
+// checkCtx polls the context every ctxCheckStride calls.
+func (g *AnyGrouper) checkCtx() error {
+	if g.ctx == nil {
+		return nil
+	}
+	g.ctxTick++
+	if g.ctxTick%ctxCheckStride != 0 {
+		return nil
+	}
+	return g.ctx.Err()
+}
+
 // Add feeds the next point, in input order, and returns its point id.
 func (g *AnyGrouper) Add(p geom.Point) (int, error) {
 	if g.finished {
 		return 0, fmt.Errorf("core: Add after Finish")
+	}
+	if err := checkFinite(p); err != nil {
+		return 0, err
+	}
+	if err := g.checkCtx(); err != nil {
+		return 0, err
 	}
 	if g.dim == 0 {
 		if len(p) == 0 {

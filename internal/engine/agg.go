@@ -84,7 +84,7 @@ func (a *countAgg) result() Value { return NewInt(a.n) }
 
 type sumAgg struct {
 	anyRow  bool
-	isFloat bool
+	isFloat bool // a float input — or an int64 overflow — promoted the sum
 	i       int64
 	f       float64
 }
@@ -97,10 +97,24 @@ func (a *sumAgg) add(args []Value) error {
 	a.anyRow = true
 	switch v.T {
 	case TypeInt:
-		a.i += v.I
-		a.f += float64(v.I)
+		if a.isFloat {
+			a.f += float64(v.I)
+			return nil
+		}
+		s := a.i + v.I
+		if (a.i > 0 && v.I > 0 && s < 0) || (a.i < 0 && v.I < 0 && s >= 0) {
+			// The exact int64 sum just overflowed: degrade to float, keeping
+			// the magnitude right instead of silently wrapping the sign.
+			a.isFloat = true
+			a.f = float64(a.i) + float64(v.I)
+			return nil
+		}
+		a.i = s
 	case TypeFloat:
-		a.isFloat = true
+		if !a.isFloat {
+			a.isFloat = true
+			a.f = float64(a.i)
+		}
 		a.f += v.F
 	default:
 		return fmt.Errorf("engine: sum over non-numeric %s", v.T)

@@ -94,7 +94,9 @@ func (c *Catalog) Names() []string {
 }
 
 // Insert appends rows after checking arity and coercing ints to declared
-// float columns (the one implicit conversion the engine performs).
+// float columns (the one implicit conversion the engine performs). The whole
+// batch is validated before any row is appended, so a failed INSERT leaves
+// the table untouched rather than half-written.
 func (t *Table) Insert(rows ...Row) error {
 	for _, r := range rows {
 		if len(r) != len(t.Schema) {
@@ -111,9 +113,12 @@ func (t *Table) Insert(rows ...Row) error {
 					t.Name, t.Schema[i].Name, t.Schema[i].T, v.T)
 			}
 		}
-		t.Rows = append(t.Rows, r)
+	}
+	start := len(t.Rows)
+	t.Rows = append(t.Rows, rows...)
+	for pos := start; pos < len(t.Rows); pos++ {
 		for _, ix := range t.Indexes {
-			ix.addRow(t, len(t.Rows)-1)
+			ix.addRow(t, pos)
 		}
 	}
 	return nil

@@ -63,28 +63,31 @@ func copyFromReader(t *Table, r io.Reader) (int, error) {
 			return 0, fmt.Errorf("engine: COPY: header is missing column %q", t.Schema[j].Name)
 		}
 	}
-	n := 0
+	// Parse the whole file before touching the table: a syntax error midway
+	// through the CSV must not leave a partial load behind.
+	var rows []Row
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
-			return n, nil
+			break
 		}
 		if err != nil {
-			return n, fmt.Errorf("engine: COPY: row %d: %w", n+2, err)
+			return 0, fmt.Errorf("engine: COPY: row %d: %w", len(rows)+2, err)
 		}
 		row := make(Row, len(t.Schema))
 		for i, field := range rec {
 			v, err := parseCSVValue(field, t.Schema[colIdx[i]].T)
 			if err != nil {
-				return n, fmt.Errorf("engine: COPY: row %d, column %q: %w", n+2, header[i], err)
+				return 0, fmt.Errorf("engine: COPY: row %d, column %q: %w", len(rows)+2, header[i], err)
 			}
 			row[colIdx[i]] = v
 		}
-		if err := t.Insert(row); err != nil {
-			return n, err
-		}
-		n++
+		rows = append(rows, row)
 	}
+	if err := t.Insert(rows...); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
 }
 
 func parseCSVValue(field string, typ Type) (Value, error) {

@@ -1,7 +1,11 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgb/internal/core"
@@ -9,22 +13,34 @@ import (
 )
 
 // DB is the engine's top-level handle: a catalog plus session settings.
-// It is not safe for concurrent use; callers requiring concurrency should
-// synchronize externally (the benchmark harness and examples are
-// single-threaded, like the paper's single-session measurements).
+//
+// A DB is safe for concurrent use. Statements are isolated by a
+// readers-writer lock: read-only statements (SELECT, EXPLAIN) run
+// concurrently with each other, while DDL/DML (CREATE, DROP, INSERT, UPDATE,
+// DELETE, COPY, index maintenance) runs exclusively. A statement that fails
+// or is canceled mid-flight leaves no partial catalog or table mutations
+// behind. Per-session state accessors (LastTrace, LastSGBStats,
+// SetSGBAlgorithm, SetLimits, ...) are individually thread-safe and reflect
+// the most recently completed statement.
 type DB struct {
-	cat     *Catalog
+	// mu is the statement lock: RLock for read-only statements, Lock for
+	// DDL/DML.
+	mu  sync.RWMutex
+	cat *Catalog
+
+	// stateMu guards the session settings and most-recent-statement state
+	// below, which concurrent read statements would otherwise race on.
+	stateMu sync.Mutex
 	sgbAlg  core.Algorithm
-	metrics *obs.Registry
+	limits  Limits
+
+	metrics atomic.Pointer[obs.Registry]
 
 	// lastSGBStats holds the cost counters of the most recent SGB operator
 	// execution, when the last statement contained one.
 	lastSGBStats *core.Stats
 
-	// trace is the in-flight statement trace (set by Exec so the parse span
-	// survives into ExecStmt); lastTrace is the completed trace of the most
-	// recent statement.
-	trace     *obs.Trace
+	// lastTrace is the completed trace of the most recent statement.
 	lastTrace *obs.Trace
 }
 
@@ -33,42 +49,77 @@ type DB struct {
 // its metrics registry; callers wanting process-wide aggregation can swap in
 // obs.Default via SetMetrics.
 func NewDB() *DB {
-	return &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds, metrics: obs.NewRegistry()}
+	db := &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds}
+	db.metrics.Store(obs.NewRegistry())
+	return db
 }
 
 // Metrics exposes the engine's metrics registry: query/error counters,
 // latency histograms, and the cumulative SGB cost counters of the paper's
 // analysis (sgb_distance_comps_total and friends).
-func (db *DB) Metrics() *obs.Registry { return db.metrics }
+func (db *DB) Metrics() *obs.Registry { return db.metrics.Load() }
 
 // SetMetrics replaces the metrics registry (e.g. with obs.Default to share
 // one registry across several DBs in a process). reg must not be nil.
 func (db *DB) SetMetrics(reg *obs.Registry) {
 	if reg != nil {
-		db.metrics = reg
+		db.metrics.Store(reg)
 	}
 }
 
 // LastTrace returns the span trace (parse/plan/execute) of the most recent
 // statement, or nil before the first one.
-func (db *DB) LastTrace() *obs.Trace { return db.lastTrace }
+func (db *DB) LastTrace() *obs.Trace {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return db.lastTrace
+}
 
 // Catalog exposes the table catalog for programmatic loading (the data
-// generators bypass SQL INSERT for bulk loads).
+// generators bypass SQL INSERT for bulk loads). The catalog is not
+// independently locked; load data before serving concurrent queries, or
+// synchronize externally.
 func (db *DB) Catalog() *Catalog { return db.cat }
 
 // SetSGBAlgorithm selects the physical implementation used by subsequent
 // similarity group-by executions (All-Pairs, Bounds-Checking, or the
 // on-the-fly index). It is the engine-level switch the benchmark harness
 // flips between the paper's algorithm variants.
-func (db *DB) SetSGBAlgorithm(a core.Algorithm) { db.sgbAlg = a }
+func (db *DB) SetSGBAlgorithm(a core.Algorithm) {
+	db.stateMu.Lock()
+	db.sgbAlg = a
+	db.stateMu.Unlock()
+}
 
 // SGBAlgorithm reports the currently selected SGB implementation.
-func (db *DB) SGBAlgorithm() core.Algorithm { return db.sgbAlg }
+func (db *DB) SGBAlgorithm() core.Algorithm {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return db.sgbAlg
+}
+
+// SetLimits installs per-query resource limits applied to every subsequent
+// statement. The zero Limits removes all bounds.
+func (db *DB) SetLimits(lim Limits) {
+	db.stateMu.Lock()
+	db.limits = lim
+	db.stateMu.Unlock()
+}
+
+// Limits reports the currently configured per-query resource limits.
+func (db *DB) Limits() Limits {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return db.limits
+}
 
 // LastSGBStats returns the core operator counters from the most recent
 // statement that executed a similarity group-by, or nil.
-func (db *DB) LastSGBStats() *core.Stats { return db.lastSGBStats }
+func (db *DB) LastSGBStats() *core.Stats {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return db.lastSGBStats
+}
 
 // Result is a materialized statement result.
 type Result struct {
@@ -82,32 +133,96 @@ type Result struct {
 
 // Exec parses and executes one SQL statement.
 func (db *DB) Exec(sql string) (*Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes one SQL statement under a context: once
+// ctx is canceled or its deadline expires, the statement aborts promptly
+// (operators poll on a row stride) and ExecContext returns ctx.Err(). A
+// canceled statement leaves no partial catalog or table mutations behind.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 	tr := obs.NewTrace()
 	span := tr.StartSpan("parse")
 	stmt, err := Parse(sql)
 	span.End()
 	if err != nil {
-		db.trace = nil
+		db.stateMu.Lock()
 		db.lastTrace = tr
-		db.metrics.Counter("engine_parse_errors_total").Inc()
+		db.stateMu.Unlock()
+		db.Metrics().Counter("engine_parse_errors_total").Inc()
 		return nil, err
 	}
-	db.trace = tr
-	return db.ExecStmt(stmt)
+	return db.execTraced(ctx, stmt, tr)
 }
 
 // ExecStmt executes an already parsed statement.
 func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
-	tr := db.trace
-	db.trace = nil
-	if tr == nil {
-		tr = obs.NewTrace()
+	return db.ExecStmtContext(context.Background(), stmt)
+}
+
+// ExecStmtContext executes an already parsed statement under a context, with
+// the same cancellation semantics as ExecContext.
+func (db *DB) ExecStmtContext(ctx context.Context, stmt Statement) (*Result, error) {
+	return db.execTraced(ctx, stmt, obs.NewTrace())
+}
+
+// isReadOnly reports whether stmt cannot mutate the catalog or table data,
+// and may therefore share the statement lock with other readers. EXPLAIN
+// ANALYZE executes its query but discards the rows, so it is a reader too.
+func isReadOnly(stmt Statement) bool {
+	switch stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+		return true
 	}
+	return false
+}
+
+// execTraced is the shared statement driver: it applies the configured time
+// limit, takes the statement lock in the right mode, runs the statement, and
+// folds the outcome into the metrics registry and the session state.
+func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace) (*Result, error) {
+	m := db.Metrics()
+	m.Counter("engine_statements_total").Inc()
+
+	lim := db.Limits()
+	parent := ctx
+	if lim.MaxExecutionTime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lim.MaxExecutionTime)
+		defer cancel()
+	}
+
+	var res *Result
+	err := ctx.Err()
+	if err == nil {
+		qc := newQueryCtx(ctx, lim)
+		if isReadOnly(stmt) {
+			db.mu.RLock()
+			res, err = db.execStmt(stmt, tr, qc)
+			db.mu.RUnlock()
+		} else {
+			db.mu.Lock()
+			res, err = db.execStmt(stmt, tr, qc)
+			db.mu.Unlock()
+		}
+	}
+	// A deadline installed by MaxExecutionTime (rather than by the caller's
+	// own context) surfaces as the typed limit error, not a cancellation.
+	if errors.Is(err, context.DeadlineExceeded) && parent.Err() == nil && lim.MaxExecutionTime > 0 {
+		err = &ResourceLimitError{Resource: "time", Limit: lim.MaxExecutionTime.String()}
+	}
+	db.stateMu.Lock()
 	db.lastTrace = tr
-	db.metrics.Counter("engine_statements_total").Inc()
-	res, err := db.execStmt(stmt, tr)
+	db.stateMu.Unlock()
 	if err != nil {
-		db.metrics.Counter("engine_errors_total").Inc()
+		m.Counter("engine_errors_total").Inc()
+		var rle *ResourceLimitError
+		switch {
+		case errors.As(err, &rle):
+			m.Counter("engine_queries_limited_total").Inc()
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			m.Counter("engine_queries_canceled_total").Inc()
+		}
 	}
 	return res, err
 }
@@ -115,16 +230,18 @@ func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
 // recordQueryMetrics folds one executed query into the registry and stashes
 // the SGB cost counters for LastSGBStats and the trace annotations.
 func (db *DB) recordQueryMetrics(pc *planContext, tr *obs.Trace, dur time.Duration, rowsOut int) {
-	m := db.metrics
+	m := db.Metrics()
 	m.Counter("engine_queries_total").Inc()
 	m.Counter("engine_rows_returned_total").Add(int64(rowsOut))
 	m.Histogram("engine_query_seconds", obs.DefBuckets).Observe(dur.Seconds())
+	db.stateMu.Lock()
 	if n := len(pc.sgbOps); n > 0 {
 		stats := pc.sgbOps[n-1].lastStats
 		db.lastSGBStats = &stats
 	} else {
 		db.lastSGBStats = nil
 	}
+	db.stateMu.Unlock()
 	for _, op := range pc.sgbOps {
 		s := op.lastStats
 		m.Counter("sgb_queries_total").Inc()
@@ -141,18 +258,18 @@ func (db *DB) recordQueryMetrics(pc *planContext, tr *obs.Trace, dur time.Durati
 	}
 }
 
-func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
+func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, error) {
 	switch stmt := stmt.(type) {
 	case *CreateTableStmt:
 		if _, err := db.cat.Create(stmt.Name, stmt.Columns); err != nil {
 			return nil, err
 		}
-		db.metrics.Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
+		db.Metrics().Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
 		return &Result{}, nil
 
 	case *DropTableStmt:
 		db.cat.Drop(stmt.Name)
-		db.metrics.Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
+		db.Metrics().Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
 		return &Result{}, nil
 
 	case *CreateViewStmt:
@@ -178,38 +295,43 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := &Result{}
+		// Stage every row before touching the table: Table.Insert validates
+		// the whole batch up front, so a failed or canceled INSERT leaves no
+		// partial rows behind.
+		var rows []Row
 		if stmt.Query != nil {
-			pc := &planContext{db: db}
-			rows, _, err := pc.run(stmt.Query)
+			pc := &planContext{db: db, qc: qc}
+			qrows, _, err := pc.run(stmt.Query)
 			if err != nil {
 				return nil, err
 			}
-			for _, row := range rows {
-				if err := t.Insert(row.Clone()); err != nil {
+			rows = make([]Row, len(qrows))
+			for i, row := range qrows {
+				rows[i] = row.Clone()
+			}
+		} else {
+			rows = make([]Row, 0, len(stmt.Rows))
+			for _, exprs := range stmt.Rows {
+				if err := qc.tick(); err != nil {
 					return nil, err
 				}
-				res.RowsAffected++
-			}
-			return res, nil
-		}
-		for _, exprs := range stmt.Rows {
-			row := make(Row, len(exprs))
-			for i, e := range exprs {
-				f, err := compileExpr(e, nil, nil)
-				if err != nil {
-					return nil, fmt.Errorf("engine: INSERT values must be constants: %w", err)
+				row := make(Row, len(exprs))
+				for i, e := range exprs {
+					f, err := compileExpr(e, nil, nil)
+					if err != nil {
+						return nil, fmt.Errorf("engine: INSERT values must be constants: %w", err)
+					}
+					if row[i], err = f(nil); err != nil {
+						return nil, err
+					}
 				}
-				if row[i], err = f(nil); err != nil {
-					return nil, err
-				}
+				rows = append(rows, row)
 			}
-			if err := t.Insert(row); err != nil {
-				return nil, err
-			}
-			res.RowsAffected++
 		}
-		return res, nil
+		if err := t.Insert(rows...); err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: len(rows)}, nil
 
 	case *UpdateStmt:
 		t, err := db.cat.Get(stmt.Table)
@@ -218,7 +340,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 		}
 		var pred evalFn
 		if stmt.Where != nil {
-			pc := &planContext{db: db}
+			pc := &planContext{db: db, qc: qc}
 			if pred, err = compileExpr(stmt.Where, t.Schema, pc); err != nil {
 				return nil, err
 			}
@@ -233,15 +355,25 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			pc := &planContext{db: db}
+			pc := &planContext{db: db, qc: qc}
 			fn, err := compileExpr(sc.Value, t.Schema, pc)
 			if err != nil {
 				return nil, err
 			}
 			assigns[i] = assign{col: col, fn: fn}
 		}
-		res := &Result{}
+		// Evaluate the whole scan into a staged change list before applying
+		// anything, so an evaluation error or cancellation mid-table leaves
+		// every row untouched.
+		type change struct {
+			ri  int
+			row Row
+		}
+		var changes []change
 		for ri, row := range t.Rows {
+			if err := qc.tick(); err != nil {
+				return nil, err
+			}
 			if pred != nil {
 				v, err := pred(row)
 				if err != nil {
@@ -274,9 +406,12 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 			for i, a := range assigns {
 				updated[a.col] = newVals[i]
 			}
-			t.Rows[ri] = updated
-			res.RowsAffected++
+			changes = append(changes, change{ri: ri, row: updated})
 		}
+		for _, c := range changes {
+			t.Rows[c.ri] = c.row
+		}
+		res := &Result{RowsAffected: len(changes)}
 		if res.RowsAffected > 0 {
 			t.invalidateIndexes()
 		}
@@ -293,14 +428,20 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 			t.invalidateIndexes()
 			return &Result{RowsAffected: n}, nil
 		}
-		pc := &planContext{db: db}
+		pc := &planContext{db: db, qc: qc}
 		pred, err := compileExpr(stmt.Where, t.Schema, pc)
 		if err != nil {
 			return nil, err
 		}
+		// Build the survivor list in fresh storage and swap it in only after
+		// the full scan succeeds, so a predicate error or cancellation
+		// mid-table cannot leave a half-deleted relation.
 		res := &Result{}
-		keep := t.Rows[:0]
+		keep := make([]Row, 0, len(t.Rows))
 		for _, row := range t.Rows {
+			if err := qc.tick(); err != nil {
+				return nil, err
+			}
 			v, err := pred(row)
 			if err != nil {
 				return nil, err
@@ -349,7 +490,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 		return &Result{RowsAffected: n}, nil
 
 	case *ExplainStmt:
-		pc := &planContext{db: db}
+		pc := &planContext{db: db, qc: qc}
 		span := tr.StartSpan("plan")
 		planStart := time.Now()
 		op, err := pc.planSelect(stmt.Query)
@@ -370,7 +511,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 		root := instrument(op)
 		span = tr.StartSpan("execute")
 		execStart := time.Now()
-		rows, err := drain(root)
+		rows, err := materialize(root, qc)
 		execDur := time.Since(execStart)
 		span.End()
 		if err != nil {
@@ -386,7 +527,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 		return res, nil
 
 	case *SelectStmt:
-		pc := &planContext{db: db}
+		pc := &planContext{db: db, qc: qc}
 		span := tr.StartSpan("plan")
 		op, err := pc.planSelect(stmt)
 		span.End()
@@ -395,7 +536,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 		}
 		span = tr.StartSpan("execute")
 		execStart := time.Now()
-		rows, err := drain(op)
+		rows, err := materialize(op, qc)
 		execDur := time.Since(execStart)
 		span.End()
 		if err != nil {
@@ -409,6 +550,11 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace) (*Result, error) {
 
 // Query is a convenience wrapper asserting the statement is a SELECT.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query with ExecContext's cancellation semantics.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
@@ -416,5 +562,5 @@ func (db *DB) Query(sql string) (*Result, error) {
 	if _, ok := stmt.(*SelectStmt); !ok {
 		return nil, fmt.Errorf("engine: Query expects a SELECT statement")
 	}
-	return db.ExecStmt(stmt)
+	return db.ExecStmtContext(ctx, stmt)
 }

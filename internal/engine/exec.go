@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"sgb/internal/core"
@@ -18,8 +19,10 @@ type operator interface {
 	close() error
 }
 
-// drain runs an operator to completion and materializes its output.
-func drain(op operator) ([]Row, error) {
+// materialize runs an operator to completion and buffers its output, charging
+// every buffered row against the statement's row budget and polling for
+// cancellation. qc may be nil (no limits, no cancellation).
+func materialize(op operator, qc *queryCtx) ([]Row, error) {
 	if err := op.open(); err != nil {
 		return nil, err
 	}
@@ -33,9 +36,18 @@ func drain(op operator) ([]Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		if err := qc.tick(); err != nil {
+			return nil, err
+		}
+		if err := qc.addRows(1); err != nil {
+			return nil, err
+		}
 		rows = append(rows, r)
 	}
 }
+
+// drain is materialize without accounting, for limit-free callers.
+func drain(op operator) ([]Row, error) { return materialize(op, nil) }
 
 // ---- scan ----
 
@@ -43,14 +55,15 @@ type scanOp struct {
 	table *Table
 	sch   Schema
 	pos   int
+	qc    *queryCtx
 }
 
-func newScanOp(t *Table, alias string) *scanOp {
+func newScanOp(t *Table, alias string, qc *queryCtx) *scanOp {
 	sch := t.Schema
 	if alias != "" {
 		sch = t.Schema.Qualify(alias)
 	}
-	return &scanOp{table: t, sch: sch}
+	return &scanOp{table: t, sch: sch, qc: qc}
 }
 
 func (s *scanOp) schema() Schema { return s.sch }
@@ -60,6 +73,9 @@ func (s *scanOp) close() error   { return nil }
 func (s *scanOp) next() (Row, error) {
 	if s.pos >= len(s.table.Rows) {
 		return nil, io.EOF
+	}
+	if err := s.qc.tick(); err != nil {
+		return nil, err
 	}
 	r := s.table.Rows[s.pos]
 	s.pos++
@@ -149,6 +165,7 @@ type hashJoinOp struct {
 	left, right         operator
 	leftKeys, rightKeys []evalFn
 	sch                 Schema
+	qc                  *queryCtx
 
 	table     map[string][]Row // build side (right)
 	buildRows int              // rows hashed into the build side
@@ -157,9 +174,9 @@ type hashJoinOp struct {
 	matchI    int
 }
 
-func newHashJoinOp(left, right operator, lk, rk []evalFn) *hashJoinOp {
+func newHashJoinOp(left, right operator, lk, rk []evalFn, qc *queryCtx) *hashJoinOp {
 	sch := append(append(Schema{}, left.schema()...), right.schema()...)
-	return &hashJoinOp{left: left, right: right, leftKeys: lk, rightKeys: rk, sch: sch}
+	return &hashJoinOp{left: left, right: right, leftKeys: lk, rightKeys: rk, sch: sch, qc: qc}
 }
 
 func (j *hashJoinOp) schema() Schema { return j.sch }
@@ -186,6 +203,14 @@ func (j *hashJoinOp) open() error {
 		}
 		if null {
 			continue // NULL keys never match
+		}
+		if err := j.qc.tick(); err != nil {
+			j.right.close()
+			return err
+		}
+		if err := j.qc.addRows(1); err != nil {
+			j.right.close()
+			return err
 		}
 		j.table[key] = append(j.table[key], r)
 		j.buildRows++
@@ -225,8 +250,25 @@ func (j *hashJoinOp) next() (Row, error) {
 	}
 }
 
-// joinKey evaluates the key expressions; integer values are normalized to
-// floats so cross-type equi-joins behave like SQL equality.
+// exactInt64Bound is 2^63 as a float64 (exactly representable); floats in
+// [-2^63, 2^63) that carry an integral value convert to int64 losslessly.
+const exactInt64Bound = 9223372036854775808.0
+
+// canonicalKeyValue maps a key value onto a canonical encoding under SQL
+// numeric equality: a float holding an exact integer folds onto the int
+// encoding, so INT 3 and FLOAT 3.0 hash identically. Crucially, ints are kept
+// as ints — the old int→float widening rounded every key above 2^53 and made
+// distinct large keys collide.
+func canonicalKeyValue(v Value) Value {
+	if v.T == TypeFloat && v.F == math.Trunc(v.F) &&
+		v.F >= -exactInt64Bound && v.F < exactInt64Bound {
+		return NewInt(int64(v.F))
+	}
+	return v
+}
+
+// joinKey evaluates the key expressions and encodes them canonically so
+// cross-type equi-joins behave like SQL equality without losing int precision.
 func joinKey(r Row, keys []evalFn) (string, bool, error) {
 	vals := make([]Value, len(keys))
 	for i, k := range keys {
@@ -237,10 +279,7 @@ func joinKey(r Row, keys []evalFn) (string, bool, error) {
 		if v.IsNull() {
 			return "", true, nil
 		}
-		if v.T == TypeInt {
-			v = NewFloat(float64(v.I))
-		}
-		vals[i] = v
+		vals[i] = canonicalKeyValue(v)
 	}
 	return Key(vals), false, nil
 }
@@ -250,20 +289,21 @@ func joinKey(r Row, keys []evalFn) (string, bool, error) {
 type crossJoinOp struct {
 	left, right operator
 	sch         Schema
+	qc          *queryCtx
 	rightRows   []Row
 	cur         Row
 	ri          int
 }
 
-func newCrossJoinOp(left, right operator) *crossJoinOp {
+func newCrossJoinOp(left, right operator, qc *queryCtx) *crossJoinOp {
 	sch := append(append(Schema{}, left.schema()...), right.schema()...)
-	return &crossJoinOp{left: left, right: right, sch: sch}
+	return &crossJoinOp{left: left, right: right, sch: sch, qc: qc}
 }
 
 func (j *crossJoinOp) schema() Schema { return j.sch }
 
 func (j *crossJoinOp) open() error {
-	rows, err := drain(j.right)
+	rows, err := materialize(j.right, j.qc)
 	if err != nil {
 		return err
 	}
@@ -297,6 +337,7 @@ type sortOp struct {
 	child operator
 	keys  []evalFn
 	desc  []bool
+	qc    *queryCtx
 	rows  []Row
 	pos   int
 }
@@ -305,7 +346,7 @@ func (s *sortOp) schema() Schema { return s.child.schema() }
 func (s *sortOp) close() error   { return nil }
 
 func (s *sortOp) open() error {
-	rows, err := drain(s.child)
+	rows, err := materialize(s.child, s.qc)
 	if err != nil {
 		return err
 	}
@@ -395,6 +436,7 @@ type hashAggOp struct {
 	groupExprs []evalFn
 	calls      []*aggCall
 	sch        Schema
+	qc         *queryCtx
 
 	rows []Row
 	pos  int
@@ -428,6 +470,9 @@ func (a *hashAggOp) open() error {
 		if err != nil {
 			return err
 		}
+		if err := a.qc.tick(); err != nil {
+			return err
+		}
 		a.inRows++
 		keyVals := make([]Value, len(a.groupExprs))
 		for i, g := range a.groupExprs {
@@ -438,6 +483,9 @@ func (a *hashAggOp) open() error {
 		key := Key(keyVals)
 		b, ok := buckets[key]
 		if !ok {
+			if err := a.qc.addRows(1); err != nil {
+				return err
+			}
 			acc, err := newGroupAccumulator(a.calls)
 			if err != nil {
 				return err
@@ -499,6 +547,7 @@ type sgbAggOp struct {
 	sch        Schema
 	spec       SimilaritySpec
 	algorithm  core.Algorithm
+	qc         *queryCtx
 
 	rows []Row
 	pos  int
@@ -532,6 +581,7 @@ func (a *sgbAggOp) open() error {
 		if err != nil {
 			return err
 		}
+		g.WithContext(a.qc.context())
 		addPoint, finish = g.Add, g.Finish
 	} else {
 		if opt.Algorithm == core.BoundsChecking {
@@ -541,6 +591,7 @@ func (a *sgbAggOp) open() error {
 		if err != nil {
 			return err
 		}
+		g.WithContext(a.qc.context())
 		addPoint, finish = g.Add, g.Finish
 	}
 	var tuples []Row
@@ -550,6 +601,12 @@ func (a *sgbAggOp) open() error {
 			break
 		}
 		if err != nil {
+			return err
+		}
+		if err := a.qc.tick(); err != nil {
+			return err
+		}
+		if err := a.qc.addRows(1); err != nil {
 			return err
 		}
 		p := make(geom.Point, len(a.groupExprs))

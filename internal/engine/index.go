@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Index is a single-column hash index supporting equality lookups. The
@@ -13,16 +14,18 @@ type Index struct {
 	Name   string
 	Column string
 
+	// mu guards the lazily built bucket map: read-only statements share the
+	// DB statement lock, so two concurrent SELECTs may race to (re)build the
+	// buckets without it.
+	mu      sync.Mutex
 	buckets map[string][]int // value key -> row positions; nil = stale
 }
 
-// indexKey normalizes a value the same way the hash join does, so integer
-// predicates hit float columns and vice versa.
+// indexKey normalizes a value the same way the hash join does (see
+// canonicalKeyValue), so integer predicates hit float columns and vice versa
+// without rounding distinct int keys above 2^53 together.
 func indexKey(v Value) string {
-	if v.T == TypeInt {
-		v = NewFloat(float64(v.I))
-	}
-	return Key([]Value{v})
+	return Key([]Value{canonicalKeyValue(v)})
 }
 
 // CreateIndex registers a hash index over the named column.
@@ -64,13 +67,17 @@ func (t *Table) indexOn(column string) *Index {
 // invalidateIndexes marks every index stale after destructive DML.
 func (t *Table) invalidateIndexes() {
 	for _, ix := range t.Indexes {
+		ix.mu.Lock()
 		ix.buckets = nil
+		ix.mu.Unlock()
 	}
 }
 
 // lookup returns the row positions whose indexed column equals v,
 // (re)building the bucket map if necessary.
 func (ix *Index) lookup(t *Table, v Value) ([]int, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.buckets == nil {
 		col, err := t.Schema.Resolve("", ix.Column)
 		if err != nil {
@@ -93,6 +100,8 @@ func (ix *Index) lookup(t *Table, v Value) ([]int, error) {
 
 // addRow maintains a live bucket map on insert (no-op when stale).
 func (ix *Index) addRow(t *Table, pos int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if ix.buckets == nil {
 		return
 	}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Limits bounds the resources a single statement may consume. A query that
+// exceeds a limit fails with a *ResourceLimitError instead of running the
+// process out of memory or holding the engine hostage — the statement-timeout
+// and work_mem style guard rails of a production DBMS.
+type Limits struct {
+	// MaxRowsMaterialized caps the number of rows a statement may buffer
+	// across all of its materializing operators (final result, sort buffers,
+	// join build sides, aggregation inputs). 0 means unlimited.
+	MaxRowsMaterialized int64
+	// MaxExecutionTime caps a statement's wall-clock execution time.
+	// 0 means unlimited.
+	MaxExecutionTime time.Duration
+}
+
+// ResourceLimitError is the typed error a statement fails with when it
+// exceeds a configured per-query limit. Callers distinguish it from ordinary
+// query errors (and from context cancellation) with errors.As.
+type ResourceLimitError struct {
+	// Resource names what ran out: "rows" or "time".
+	Resource string
+	// Limit is the configured bound, rendered for the message.
+	Limit string
+}
+
+func (e *ResourceLimitError) Error() string {
+	return fmt.Sprintf("engine: query exceeded %s limit (%s)", e.Resource, e.Limit)
+}
+
+// cancelCheckStride is how many next() steps an operator takes between
+// context polls: frequent enough that cancellation lands promptly mid-scan,
+// rare enough that the poll never shows up in a profile.
+const cancelCheckStride = 1024
+
+// queryCtx threads cancellation and row accounting through one statement's
+// operator tree. Every operator of a plan shares one instance (including the
+// plans of scalar/IN subqueries), so the row budget is per statement, not per
+// operator. A statement executes on a single goroutine, so no fields need
+// atomic access. The nil *queryCtx is valid and never cancels or limits —
+// plan-only contexts (view validation) use it.
+type queryCtx struct {
+	ctx     context.Context
+	maxRows int64 // 0 = unlimited
+	rows    int64 // rows materialized so far
+	calls   uint64
+}
+
+func newQueryCtx(ctx context.Context, lim Limits) *queryCtx {
+	return &queryCtx{ctx: ctx, maxRows: lim.MaxRowsMaterialized}
+}
+
+// tick is called once per operator step; every cancelCheckStride calls it
+// polls the context so a canceled or deadline-expired statement aborts
+// mid-scan, mid-join-build, and mid-aggregation.
+func (q *queryCtx) tick() error {
+	if q == nil {
+		return nil
+	}
+	q.calls++
+	if q.calls%cancelCheckStride != 0 {
+		return nil
+	}
+	return q.ctx.Err()
+}
+
+// addRows charges n newly materialized rows against the row budget.
+func (q *queryCtx) addRows(n int) error {
+	if q == nil || q.maxRows <= 0 {
+		return nil
+	}
+	q.rows += int64(n)
+	if q.rows > q.maxRows {
+		return &ResourceLimitError{
+			Resource: "rows",
+			Limit:    fmt.Sprintf("%d rows materialized", q.maxRows),
+		}
+	}
+	return nil
+}
+
+// context returns the statement's context (Background for the nil queryCtx),
+// for handing to the core groupers.
+func (q *queryCtx) context() context.Context {
+	if q == nil || q.ctx == nil {
+		return context.Background()
+	}
+	return q.ctx
+}

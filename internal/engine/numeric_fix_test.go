@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestJoinKeyLargeIntsNoCollision: int keys above 2^53 are not representable
+// as distinct float64s; the join must keep them exact instead of widening to
+// float and colliding adjacent keys.
+func TestJoinKeyLargeIntsNoCollision(t *testing.T) {
+	db := NewDB()
+	for _, sql := range []string{
+		"CREATE TABLE a (k INT, tag TEXT)",
+		"CREATE TABLE b (k INT, tag TEXT)",
+		// 2^53 and 2^53+1 round to the same float64.
+		"INSERT INTO a VALUES (9007199254740992, 'a-even'), (9007199254740993, 'a-odd')",
+		"INSERT INTO b VALUES (9007199254740993, 'b-odd')",
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	got := queryStrings(t, db, "SELECT a.tag, b.tag FROM a, b WHERE a.k = b.k ORDER BY a.tag")
+	want := [][]string{{"a-odd", "b-odd"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("join matched %v, want %v (2^53 collision?)", got, want)
+	}
+}
+
+// TestJoinKeyIntFloatStillMatch: the collision fix must not break ordinary
+// cross-type equality — INT 3 joins FLOAT 3.0.
+func TestJoinKeyIntFloatStillMatch(t *testing.T) {
+	db := NewDB()
+	for _, sql := range []string{
+		"CREATE TABLE ai (k INT)",
+		"CREATE TABLE bf (k FLOAT)",
+		"INSERT INTO ai VALUES (3), (4)",
+		"INSERT INTO bf VALUES (3.0), (4.5)",
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	got := queryStrings(t, db, "SELECT ai.k FROM ai, bf WHERE ai.k = bf.k")
+	want := [][]string{{"3"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("int-float join got %v, want %v", got, want)
+	}
+}
+
+// TestIndexLookupLargeInts: the hash index shares the canonical key encoding
+// and must distinguish neighbouring >2^53 keys too.
+func TestIndexLookupLargeInts(t *testing.T) {
+	db := NewDB()
+	for _, sql := range []string{
+		"CREATE TABLE big (k INT, tag TEXT)",
+		"INSERT INTO big VALUES (9007199254740992, 'even'), (9007199254740993, 'odd')",
+		"CREATE INDEX big_k ON big (k)",
+	} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	got := queryStrings(t, db, "SELECT tag FROM big WHERE k = 9007199254740993")
+	want := [][]string{{"odd"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("index lookup got %v, want %v", got, want)
+	}
+}
+
+// TestSumOverflowPromotesToFloat: an int64-overflowing SUM degrades to float
+// instead of silently wrapping negative.
+func TestSumOverflowPromotesToFloat(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE n (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	big := int64(1) << 62
+	if _, err := db.Exec(fmt.Sprintf("INSERT INTO n VALUES (%d), (%d), (%d)", big, big, big)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT sum(v) FROM n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Rows[0][0]
+	if v.T != TypeFloat {
+		t.Fatalf("overflowing sum stayed %s (%s) — wrapped?", v.T, v)
+	}
+	want := 3 * float64(big)
+	if v.F != want {
+		t.Fatalf("sum = %v, want %v", v.F, want)
+	}
+
+	// Non-overflowing int sums must remain exact ints.
+	got := queryStrings(t, db, "SELECT sum(v) FROM n WHERE v < 0")
+	if got[0][0] != "NULL" {
+		t.Fatalf("empty sum = %v, want NULL", got[0][0])
+	}
+	if _, err := db.Exec("DELETE FROM n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO n VALUES (9007199254740993), (1)"); err != nil {
+		t.Fatal(err)
+	}
+	got = queryStrings(t, db, "SELECT sum(v) FROM n")
+	if got[0][0] != "9007199254740994" {
+		t.Fatalf("exact int sum = %v, want 9007199254740994", got[0][0])
+	}
+}
+
+// TestSumNegativeOverflow: the overflow check must catch the negative
+// direction as well.
+func TestSumNegativeOverflow(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE n (v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	big := -(int64(1) << 62)
+	if _, err := db.Exec(fmt.Sprintf("INSERT INTO n VALUES (%d), (%d), (%d)", big, big, big)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT sum(v) FROM n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Rows[0][0]
+	if v.T != TypeFloat || v.F != 3*float64(big) {
+		t.Fatalf("sum = %s %v, want float %v", v.T, v, 3*float64(big))
+	}
+}

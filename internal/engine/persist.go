@@ -32,9 +32,12 @@ type snapshot struct {
 
 const snapshotVersion = 1
 
-// Save writes a snapshot of the database to w.
+// Save writes a snapshot of the database to w. It takes the statement lock in
+// read mode, so it sees a consistent catalog even with queries in flight.
 func (db *DB) Save(w io.Writer) error {
-	snap := snapshot{Version: snapshotVersion, SGBAlg: uint8(db.sgbAlg)}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	snap := snapshot{Version: snapshotVersion, SGBAlg: uint8(db.SGBAlgorithm())}
 	for _, name := range db.cat.Names() {
 		t, err := db.cat.Get(name)
 		if err != nil {
@@ -55,7 +58,7 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
 	}
 	db := NewDB()
-	db.sgbAlg = algFromByte(snap.SGBAlg)
+	db.SetSGBAlgorithm(algFromByte(snap.SGBAlg))
 	for _, t := range snap.Tables {
 		created, err := db.cat.Create(t.Name, t.Schema)
 		if err != nil {

@@ -11,6 +11,11 @@ import (
 type planContext struct {
 	db     *DB
 	sgbOps []*sgbAggOp
+	// qc is the executing statement's query context; the planner stamps it
+	// into every operator it builds so cancellation and row limits reach the
+	// whole tree, including subquery plans. nil for plan-only contexts
+	// (view validation).
+	qc *queryCtx
 	// viewDepth guards against self-referential view definitions.
 	viewDepth int
 }
@@ -21,7 +26,7 @@ func (pc *planContext) run(stmt *SelectStmt) ([]Row, Schema, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := drain(op)
+	rows, err := materialize(op, pc.qc)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -76,7 +81,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 			if err != nil {
 				return nil, err
 			}
-			src = newScanOp(t, item.Alias)
+			src = newScanOp(t, item.Alias, pc.qc)
 		}
 		sources = append(sources, src)
 	}
@@ -148,9 +153,9 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 		}
 		conjuncts = rest
 		if len(leftKeys) > 0 {
-			cur = newHashJoinOp(cur, next, leftKeys, rightKeys)
+			cur = newHashJoinOp(cur, next, leftKeys, rightKeys, pc.qc)
 		} else {
-			cur = newCrossJoinOp(cur, next)
+			cur = newCrossJoinOp(cur, next, pc.qc)
 		}
 		// Predicates that became resolvable over the joined schema apply
 		// here rather than at the top, keeping cross joins small.
@@ -308,7 +313,7 @@ func (pc *planContext) buildSort(child operator, orderBy []OrderItem, sch Schema
 		}
 		keys[i], desc[i] = f, o.Desc
 	}
-	return &sortOp{child: child, keys: keys, desc: desc}, nil
+	return &sortOp{child: child, keys: keys, desc: desc, qc: pc.qc}, nil
 }
 
 // planProjection lowers a non-aggregate SELECT list.
@@ -401,12 +406,13 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 			calls:      rw.calls,
 			sch:        internal,
 			spec:       *spec,
-			algorithm:  pc.db.sgbAlg,
+			algorithm:  pc.db.SGBAlgorithm(),
+			qc:         pc.qc,
 		}
 		pc.sgbOps = append(pc.sgbOps, op)
 		aggOp = op
 	} else {
-		aggOp = &hashAggOp{child: child, groupExprs: groupFns, calls: rw.calls, sch: internal}
+		aggOp = &hashAggOp{child: child, groupExprs: groupFns, calls: rw.calls, sch: internal, qc: pc.qc}
 	}
 
 	cur := aggOp
@@ -427,7 +433,7 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 			}
 			keys[i], desc[i] = f, orderBy[i].Desc
 		}
-		cur = &sortOp{child: cur, keys: keys, desc: desc}
+		cur = &sortOp{child: cur, keys: keys, desc: desc, qc: pc.qc}
 	}
 
 	var fns []evalFn

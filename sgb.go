@@ -22,6 +22,8 @@
 package sgb
 
 import (
+	"context"
+
 	"sgb/internal/core"
 	"sgb/internal/engine"
 	"sgb/internal/geom"
@@ -137,6 +139,22 @@ func NewDB() *DB { return engine.NewDB() }
 func GroupAnyParallel(points []Point, opt Options, workers int) (*Result, error) {
 	return core.SGBAnyParallel(points, opt, workers)
 }
+
+// GroupAnyParallelCtx is GroupAnyParallel with a cancellation context: once
+// ctx is done the workers drain out and the call returns ctx.Err() instead of
+// a partial result.
+func GroupAnyParallelCtx(ctx context.Context, points []Point, opt Options, workers int) (*Result, error) {
+	return core.SGBAnyParallelCtx(ctx, points, opt, workers)
+}
+
+// Limits bounds the resources a single SQL statement may consume; install
+// with DB.SetLimits. A query that exceeds a limit fails with a typed
+// *ResourceLimitError.
+type Limits = engine.Limits
+
+// ResourceLimitError is the typed error a statement fails with when it
+// exceeds a configured per-query limit.
+type ResourceLimitError = engine.ResourceLimitError
 
 // GroupSummary describes one output group geometrically (size, centroid,
 // bounding rectangle, 2-D hull, diameter).
