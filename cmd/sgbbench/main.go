@@ -10,6 +10,11 @@
 //	sgbbench -exp table2 -sf 4
 //	sgbbench -json BENCH_1.json       # fixed probe suite → machine-readable
 //	                                  # snapshot (wall times + SGB counters)
+//	sgbbench -json BENCH_3.json -workers 4 -batch 512
+//	                                  # probe suite with an explicit morsel
+//	                                  # worker count and batch size; each probe
+//	                                  # also runs serially and the snapshot
+//	                                  # records speedup_vs_serial
 //
 // The -full flag raises every size knob towards the paper's configuration
 // (minutes of runtime rather than seconds).
@@ -42,11 +47,13 @@ func main() {
 		jsonOut = flag.String("json", "", "run the fixed probe suite and write a machine-readable metrics snapshot to this file (e.g. BENCH_1.json), instead of the experiments")
 		jsonN   = flag.Int("jsonn", 5000, "check-in count for the -json probe suite")
 		timeout = flag.Duration("timeout", 0, "per-probe wall-clock bound for the -json suite; a probe exceeding it fails the run (0 = unbounded)")
+		workers = flag.Int("workers", 0, "morsel worker count for the -json probe suite's parallel runs (0 = GOMAXPROCS)")
+		batch   = flag.Int("batch", 0, "batch/morsel row count for the -json probe suite (0 = engine default)")
 	)
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *jsonN, *seed, *timeout); err != nil {
+		if err := writeBenchJSON(*jsonOut, *jsonN, *seed, *timeout, *workers, *batch); err != nil {
 			fmt.Fprintln(os.Stderr, "sgbbench:", err)
 			os.Exit(1)
 		}

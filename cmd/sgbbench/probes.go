@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"sgb/internal/checkin"
@@ -19,6 +20,12 @@ import (
 // and the cost counters of the paper's analysis (distance computations,
 // rectangle tests, window queries, merges), plus a full engine metrics
 // snapshot at the end of the run.
+//
+// Schema v2 additionally runs every probe twice — once serial, once with the
+// configured morsel worker count — and records both wall times plus the
+// speedup, so the parallel executor's trajectory is tracked alongside the
+// algorithmic counters. Probes the planner refuses to parallelize (SGB-All
+// modes, non-mergeable aggregates) naturally report a speedup near 1.
 
 // probeResult is one probe run in the JSON document.
 type probeResult struct {
@@ -28,6 +35,10 @@ type probeResult struct {
 	N             int     `json:"n"`
 	Eps           float64 `json:"eps"`
 	WallMS        float64 `json:"wall_ms"`
+	WallSerialMS  float64 `json:"wall_serial_ms"`
+	Speedup       float64 `json:"speedup_vs_serial"`
+	Workers       int     `json:"workers"`
+	Batch         int     `json:"batch"`
 	Rows          int     `json:"rows"`
 	DistanceComps int64   `json:"distance_comps"`
 	RectTests     int64   `json:"rect_tests"`
@@ -40,24 +51,37 @@ type probeResult struct {
 
 // benchDoc is the whole machine-readable snapshot.
 type benchDoc struct {
-	SchemaVersion int          `json:"schema_version"`
-	Dataset       string       `json:"dataset"`
-	N             int          `json:"n"`
-	Seed          int64        `json:"seed"`
+	SchemaVersion int           `json:"schema_version"`
+	Dataset       string        `json:"dataset"`
+	N             int           `json:"n"`
+	Seed          int64         `json:"seed"`
+	Workers       int           `json:"workers"`
+	Batch         int           `json:"batch"`
+	GOMAXPROCS    int           `json:"gomaxprocs"`
 	Runs          []probeResult `json:"runs"`
 	Metrics       obs.Snapshot  `json:"metrics"`
 }
 
+// probeReps is how many times each probe variant runs; the minimum wall time
+// is reported, which filters scheduler noise out of the speedup ratio on the
+// sub-millisecond probes.
+const probeReps = 3
+
 // writeBenchJSON runs the probe suite and writes the document to path. A
 // non-zero timeout bounds each probe's execution through the engine's
 // cancellation machinery, so a runaway probe aborts mid-query rather than
-// hanging the suite.
-func writeBenchJSON(path string, n int, seed int64, timeout time.Duration) error {
+// hanging the suite. workers <= 0 resolves to GOMAXPROCS; batch <= 0 keeps
+// the engine default.
+func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, workers, batch int) error {
 	db := engine.NewDB()
 	cs := checkin.Generate(checkin.Config{N: n, Seed: seed})
 	if err := checkin.Load(db, "checkins", cs); err != nil {
 		return err
 	}
+	db.SetBatchSize(batch)
+	db.SetParallelism(workers)
+	workers = db.Parallelism()
+	batch = db.BatchSize()
 
 	const eps = 0.25
 	type probe struct {
@@ -85,30 +109,72 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration) error
 		{"hash_group_by_baseline",
 			"SELECT user_id, count(*) FROM checkins GROUP BY user_id",
 			0, core.IndexBounds},
+		{"scan_filter_hash_agg",
+			"SELECT user_id, count(*), avg(lat) FROM checkins WHERE lon > -96 GROUP BY user_id",
+			0, core.IndexBounds},
 	}
 
-	doc := benchDoc{SchemaVersion: 1, Dataset: "checkin", N: n, Seed: seed}
+	// timeQuery runs q probeReps times under the current session settings and
+	// returns the fastest wall time with that run's result.
+	timeQuery := func(q string, timeout time.Duration) (time.Duration, *engine.Result, error) {
+		best := time.Duration(0)
+		var bestRes *engine.Result
+		for i := 0; i < probeReps; i++ {
+			ctx, cancel := context.Background(), func() {}
+			if timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+			}
+			start := time.Now()
+			res, err := db.ExecContext(ctx, q)
+			wall := time.Since(start)
+			cancel()
+			if err != nil {
+				return 0, nil, err
+			}
+			if bestRes == nil || wall < best {
+				best, bestRes = wall, res
+			}
+		}
+		return best, bestRes, nil
+	}
+
+	doc := benchDoc{
+		SchemaVersion: 2, Dataset: "checkin", N: n, Seed: seed,
+		Workers: workers, Batch: batch, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 	for _, p := range probes {
 		db.SetSGBAlgorithm(p.alg)
-		ctx, cancel := context.Background(), func() {}
-		if timeout > 0 {
-			ctx, cancel = context.WithTimeout(ctx, timeout)
+
+		db.SetParallelism(1)
+		serialWall, serialRes, err := timeQuery(p.query, timeout)
+		if err != nil {
+			return fmt.Errorf("probe %s (serial): %w", p.name, err)
 		}
-		start := time.Now()
-		res, err := db.ExecContext(ctx, p.query)
-		wall := time.Since(start)
-		cancel()
+
+		db.SetParallelism(workers)
+		wall, res, err := timeQuery(p.query, timeout)
 		if err != nil {
 			return fmt.Errorf("probe %s: %w", p.name, err)
 		}
+		if len(res.Rows) != len(serialRes.Rows) {
+			return fmt.Errorf("probe %s: parallel returned %d rows, serial %d",
+				p.name, len(res.Rows), len(serialRes.Rows))
+		}
+
 		run := probeResult{
-			Name:      p.name,
-			Query:     p.query,
-			Algorithm: p.alg.String(),
-			N:         n,
-			Eps:       p.eps,
-			WallMS:    float64(wall.Nanoseconds()) / 1e6,
-			Rows:      len(res.Rows),
+			Name:         p.name,
+			Query:        p.query,
+			Algorithm:    p.alg.String(),
+			N:            n,
+			Eps:          p.eps,
+			WallMS:       float64(wall.Nanoseconds()) / 1e6,
+			WallSerialMS: float64(serialWall.Nanoseconds()) / 1e6,
+			Workers:      workers,
+			Batch:        batch,
+			Rows:         len(res.Rows),
+		}
+		if wall > 0 {
+			run.Speedup = float64(serialWall) / float64(wall)
 		}
 		if s := db.LastSGBStats(); s != nil {
 			run.DistanceComps = s.DistanceComps

@@ -5,6 +5,10 @@
 //	\load tpch <SF>      generate and load TPC-H-style data
 //	\load checkin <N>    generate and load a check-in table ("checkins")
 //	\alg <name>          pick the SGB algorithm: allpairs | bounds | index
+//	\parallel [<n>]      set the morsel worker count (0 = auto/GOMAXPROCS,
+//	                     1 = serial; no args: show the resolved count)
+//	\batch [<n>]         set the batch/morsel row count (0 = engine default;
+//	                     no args: show)
 //	\save <file>         snapshot the database to a file
 //	\open <file>         replace the session database with a snapshot
 //	\timing              toggle query timing (with parse/plan/execute spans)
@@ -212,6 +216,32 @@ func meta(s *session, cmd string) bool {
 			fmt.Println("unknown algorithm:", fields[1])
 		}
 		fmt.Println("SGB algorithm:", db.SGBAlgorithm())
+	case "\\parallel":
+		if len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				fmt.Println("bad worker count:", fields[1])
+				break
+			}
+			db.SetParallelism(n)
+		} else if len(fields) != 1 {
+			fmt.Println("usage: \\parallel [<n>]  (0 = auto, 1 = serial)")
+			break
+		}
+		fmt.Println("parallel workers:", db.Parallelism())
+	case "\\batch":
+		if len(fields) == 2 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				fmt.Println("bad batch size:", fields[1])
+				break
+			}
+			db.SetBatchSize(n)
+		} else if len(fields) != 1 {
+			fmt.Println("usage: \\batch [<n>]  (0 = engine default)")
+			break
+		}
+		fmt.Println("batch size:", db.BatchSize())
 	case "\\save":
 		if len(fields) != 2 {
 			fmt.Println("usage: \\save <file>")

@@ -340,9 +340,12 @@ func (g *AllGrouper) qualifies(grp *allGroup, p geom.Point) bool {
 		if grp.hull.Contains(p) {
 			return true
 		}
-		_, d := grp.hull.Farthest(g.opt.Metric, p)
+		// Farthest-vertex bound, evaluated sqrt-free: every vertex within ε
+		// (squared-distance compare under L2, early exit) iff the farthest
+		// vertex is. Counted as one comparison like the Farthest sweep it
+		// replaces.
 		g.stats.DistanceComps++
-		return d <= g.opt.Eps
+		return grp.hull.AllWithin(g.opt.Metric, p, g.opt.Eps)
 	}
 	return g.allWithin(grp, p)
 }

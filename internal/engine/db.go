@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,11 @@ type DB struct {
 	stateMu sync.Mutex
 	sgbAlg  core.Algorithm
 	limits  Limits
+	// parallelism is the session worker count for morsel-parallel fragments:
+	// 0 = auto (GOMAXPROCS), 1 = serial. batchSize is the batch/morsel row
+	// count; 0 = defaultBatchSize.
+	parallelism int
+	batchSize   int
 
 	metrics atomic.Pointer[obs.Registry]
 
@@ -111,6 +117,54 @@ func (db *DB) Limits() Limits {
 	db.stateMu.Lock()
 	defer db.stateMu.Unlock()
 	return db.limits
+}
+
+// SetParallelism sets the worker count used by morsel-parallel query
+// fragments in subsequent statements. n <= 0 restores the default: one worker
+// per logical CPU (GOMAXPROCS). 1 forces serial execution.
+func (db *DB) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.stateMu.Lock()
+	db.parallelism = n
+	db.stateMu.Unlock()
+}
+
+// Parallelism reports the resolved worker count for new statements (never 0;
+// the auto setting resolves to GOMAXPROCS).
+func (db *DB) Parallelism() int {
+	db.stateMu.Lock()
+	n := db.parallelism
+	db.stateMu.Unlock()
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// SetBatchSize sets the batch/morsel row count used by the vectorized
+// executor in subsequent statements. n <= 0 restores defaultBatchSize.
+// Small values are mainly useful to force morsel-parallel plans on small
+// tables in tests.
+func (db *DB) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.stateMu.Lock()
+	db.batchSize = n
+	db.stateMu.Unlock()
+}
+
+// BatchSize reports the resolved batch/morsel row count for new statements.
+func (db *DB) BatchSize() int {
+	db.stateMu.Lock()
+	n := db.batchSize
+	db.stateMu.Unlock()
+	if n <= 0 {
+		return defaultBatchSize
+	}
+	return n
 }
 
 // LastSGBStats returns the core operator counters from the most recent
@@ -196,6 +250,8 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace) (*R
 	err := ctx.Err()
 	if err == nil {
 		qc := newQueryCtx(ctx, lim)
+		qc.workers = db.Parallelism()
+		qc.batch = db.BatchSize()
 		if isReadOnly(stmt) {
 			db.mu.RLock()
 			res, err = db.execStmt(stmt, tr, qc)
@@ -242,6 +298,13 @@ func (db *DB) recordQueryMetrics(pc *planContext, tr *obs.Trace, dur time.Durati
 		db.lastSGBStats = nil
 	}
 	db.stateMu.Unlock()
+	for _, op := range pc.parOps {
+		w, mor := op.parallelRun()
+		if w > 1 && mor > 0 {
+			m.Counter("engine_parallel_morsels_total").Add(int64(mor))
+			m.Gauge("engine_parallel_workers").Set(float64(w))
+		}
+	}
 	for _, op := range pc.sgbOps {
 		s := op.lastStats
 		m.Counter("sgb_queries_total").Inc()

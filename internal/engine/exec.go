@@ -21,28 +21,29 @@ type operator interface {
 
 // materialize runs an operator to completion and buffers its output, charging
 // every buffered row against the statement's row budget and polling for
-// cancellation. qc may be nil (no limits, no cancellation).
+// cancellation once per batch. qc may be nil (no limits, no cancellation).
 func materialize(op operator, qc *queryCtx) ([]Row, error) {
 	if err := op.open(); err != nil {
 		return nil, err
 	}
 	defer op.close()
 	var rows []Row
+	buf := make([]Row, 0, qc.batchSize())
 	for {
-		r, err := op.next()
+		batch, err := fetchBatch(op, buf)
 		if err == io.EOF {
 			return rows, nil
 		}
 		if err != nil {
 			return nil, err
 		}
-		if err := qc.tick(); err != nil {
+		if err := qc.poll(); err != nil {
 			return nil, err
 		}
-		if err := qc.addRows(1); err != nil {
+		if err := qc.addRows(len(batch)); err != nil {
 			return nil, err
 		}
-		rows = append(rows, r)
+		rows = append(rows, batch...)
 	}
 }
 
@@ -111,6 +112,10 @@ func singleRowOp() *valuesOp { return &valuesOp{rows: []Row{{}}} }
 type filterOp struct {
 	child operator
 	pred  evalFn
+	// parSafe marks the compiled predicate as goroutine-safe (no subquery
+	// caches), making the filter eligible for a morsel-parallel fragment.
+	parSafe bool
+	buf     []Row // reused child batch buffer for nextBatch
 }
 
 func (f *filterOp) schema() Schema { return f.child.schema() }
@@ -139,6 +144,10 @@ type projectOp struct {
 	child operator
 	sch   Schema
 	fns   []evalFn
+	// parSafe marks every projection expression goroutine-safe, making the
+	// projection eligible for a morsel-parallel fragment.
+	parSafe bool
+	buf     []Row // reused child batch buffer for nextBatch
 }
 
 func (p *projectOp) schema() Schema { return p.sch }
@@ -401,6 +410,7 @@ type limitOp struct {
 	offset  int
 	seen    int
 	skipped int
+	buf     []Row // reused child batch buffer for nextBatch
 }
 
 func (l *limitOp) schema() Schema { return l.child.schema() }
@@ -427,10 +437,90 @@ func (l *limitOp) next() (Row, error) {
 
 // ---- standard hash aggregation (equality Group-By) ----
 
+// aggBucket is one group's key values and accumulator states.
+type aggBucket struct {
+	keyVals []Value
+	acc     *groupAccumulator
+}
+
+// aggTable is a grouping hash table keyed by the encoded grouping values,
+// preserving insertion order. It serves both phases of aggregation: the
+// serial path builds one table directly, and the parallel path builds one
+// uncharged table per morsel and folds them into a charged global table in
+// morsel order, so the group set — and the row-budget accounting per new
+// group — is identical either way.
+type aggTable struct {
+	groupFns []evalFn
+	calls    []*aggCall
+	qc       *queryCtx // charges one budget row per new group; nil = uncharged partial
+	buckets  map[string]*aggBucket
+	order    []string
+	inRows   int64
+}
+
+func newAggTable(groupFns []evalFn, calls []*aggCall, qc *queryCtx) *aggTable {
+	return &aggTable{groupFns: groupFns, calls: calls, qc: qc, buckets: make(map[string]*aggBucket)}
+}
+
+func (t *aggTable) addRow(r Row) error {
+	t.inRows++
+	keyVals := make([]Value, len(t.groupFns))
+	for i, g := range t.groupFns {
+		var err error
+		if keyVals[i], err = g(r); err != nil {
+			return err
+		}
+	}
+	key := Key(keyVals)
+	b, ok := t.buckets[key]
+	if !ok {
+		if err := t.qc.addRows(1); err != nil {
+			return err
+		}
+		acc, err := newGroupAccumulator(t.calls)
+		if err != nil {
+			return err
+		}
+		b = &aggBucket{keyVals: keyVals, acc: acc}
+		t.buckets[key] = b
+		t.order = append(t.order, key)
+	}
+	return b.acc.add(t.calls, r)
+}
+
+// fold merges a partial table into t in the partial's insertion order:
+// buckets new to t are adopted (and charged), existing ones merge their
+// accumulator states.
+func (t *aggTable) fold(o *aggTable) error {
+	t.inRows += o.inRows
+	for _, key := range o.order {
+		ob := o.buckets[key]
+		b, ok := t.buckets[key]
+		if !ok {
+			if err := t.qc.addRows(1); err != nil {
+				return err
+			}
+			t.buckets[key] = ob
+			t.order = append(t.order, key)
+			continue
+		}
+		if err := b.acc.merge(ob.acc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // hashAggOp implements the standard Group-By: groups are the distinct values
 // of the grouping expressions; output rows are [groupValues..., aggResults...].
 // With no grouping expressions it produces exactly one global-aggregate row.
 // Output is sorted by group key for determinism.
+//
+// When the planner attaches a morsel fragment (frag != nil, workers > 1) the
+// operator runs two-phase: workers aggregate morsels into partial tables,
+// which are folded in ascending morsel order — deterministic regardless of
+// scheduling, and order-identical to the serial build because morsels are
+// contiguous input ranges.
 type hashAggOp struct {
 	child      operator
 	groupExprs []evalFn
@@ -438,79 +528,54 @@ type hashAggOp struct {
 	sch        Schema
 	qc         *queryCtx
 
+	// frag and workers are set by the planner when the input pipeline is
+	// parallel-safe and large enough to be worth fanning out.
+	frag    *morselFragment
+	workers int
+
 	rows []Row
 	pos  int
 
 	// inRows and nGroups record the actual input cardinality and hash-table
-	// size of the last execution, for EXPLAIN ANALYZE.
-	inRows  int64
-	nGroups int
+	// size of the last execution; lastWorkers/lastMorsels the parallel shape
+	// (0 when the serial path ran). All for EXPLAIN ANALYZE and metrics.
+	inRows      int64
+	nGroups     int
+	lastWorkers int
+	lastMorsels int
 }
 
 func (a *hashAggOp) schema() Schema { return a.sch }
 func (a *hashAggOp) close() error   { return nil }
 
+func (a *hashAggOp) parallelRun() (int, int) { return a.lastWorkers, a.lastMorsels }
+
 func (a *hashAggOp) open() error {
-	if err := a.child.open(); err != nil {
+	a.lastWorkers, a.lastMorsels = 0, 0
+	tbl := newAggTable(a.groupExprs, a.calls, a.qc)
+	var err error
+	if a.frag != nil && a.workers > 1 {
+		err = a.buildParallel(tbl)
+	} else {
+		err = a.buildSerial(tbl)
+	}
+	if err != nil {
 		return err
 	}
-	defer a.child.close()
-	type bucket struct {
-		keyVals []Value
-		acc     *groupAccumulator
-	}
-	buckets := make(map[string]*bucket)
-	var order []string
-	a.inRows = 0
-	for {
-		r, err := a.child.next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if err := a.qc.tick(); err != nil {
-			return err
-		}
-		a.inRows++
-		keyVals := make([]Value, len(a.groupExprs))
-		for i, g := range a.groupExprs {
-			if keyVals[i], err = g(r); err != nil {
-				return err
-			}
-		}
-		key := Key(keyVals)
-		b, ok := buckets[key]
-		if !ok {
-			if err := a.qc.addRows(1); err != nil {
-				return err
-			}
-			acc, err := newGroupAccumulator(a.calls)
-			if err != nil {
-				return err
-			}
-			b = &bucket{keyVals: keyVals, acc: acc}
-			buckets[key] = b
-			order = append(order, key)
-		}
-		if err := b.acc.add(a.calls, r); err != nil {
-			return err
-		}
-	}
-	if len(a.groupExprs) == 0 && len(buckets) == 0 {
+	if len(a.groupExprs) == 0 && len(tbl.buckets) == 0 {
 		// Global aggregate over an empty input still yields one row.
 		acc, err := newGroupAccumulator(a.calls)
 		if err != nil {
 			return err
 		}
-		buckets[""] = &bucket{acc: acc}
-		order = append(order, "")
+		tbl.buckets[""] = &aggBucket{acc: acc}
+		tbl.order = append(tbl.order, "")
 	}
-	a.nGroups = len(buckets)
+	a.inRows = tbl.inRows
+	a.nGroups = len(tbl.buckets)
 	a.rows = a.rows[:0]
-	for _, key := range order {
-		b := buckets[key]
+	for _, key := range tbl.order {
+		b := tbl.buckets[key]
 		out := make(Row, 0, len(a.groupExprs)+len(a.calls))
 		out = append(out, b.keyVals...)
 		out = append(out, b.acc.results()...)
@@ -518,6 +583,60 @@ func (a *hashAggOp) open() error {
 	}
 	sortRowsStable(a.rows, len(a.groupExprs))
 	a.pos = 0
+	return nil
+}
+
+func (a *hashAggOp) buildSerial(tbl *aggTable) error {
+	if err := a.child.open(); err != nil {
+		return err
+	}
+	defer a.child.close()
+	buf := make([]Row, 0, a.qc.batchSize())
+	for {
+		batch, err := fetchBatch(a.child, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := a.qc.poll(); err != nil {
+			return err
+		}
+		for _, r := range batch {
+			if err := tbl.addRow(r); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// buildParallel is the two-phase aggregation: one uncharged partial table per
+// morsel, folded into the charged global table in morsel order.
+func (a *hashAggOp) buildParallel(global *aggTable) error {
+	partials := make([]*aggTable, a.frag.morselCount(a.qc))
+	morsels, used, err := a.frag.run(a.qc, a.workers, func(m int, rows []Row) error {
+		t := newAggTable(a.groupExprs, a.calls, nil)
+		for _, r := range rows {
+			if err := t.addRow(r); err != nil {
+				return err
+			}
+		}
+		partials[m] = t
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range partials {
+		if p == nil {
+			continue
+		}
+		if err := global.fold(p); err != nil {
+			return err
+		}
+	}
+	a.lastWorkers, a.lastMorsels = used, morsels
 	return nil
 }
 
@@ -549,37 +668,120 @@ type sgbAggOp struct {
 	algorithm  core.Algorithm
 	qc         *queryCtx
 
+	// frag and workers are set by the planner for SGB-Any plans whose input
+	// pipeline is parallel-safe and large enough: input collection runs
+	// morsel-parallel and the grouping itself routes through the core's
+	// grid-partition SGBAnyParallelCtx instead of the serial grouper.
+	frag    *morselFragment
+	workers int
+
 	rows []Row
 	pos  int
 
 	// LastStats exposes the core grouper's cost counters for the most
 	// recent execution, used by the benchmark harness, the metrics
 	// registry, and EXPLAIN ANALYZE. lastDropped counts the tuples
-	// discarded by ON-OVERLAP ELIMINATE.
+	// discarded by ON-OVERLAP ELIMINATE. lastWorkers/lastMorsels record
+	// the parallel shape (0 when the serial path ran).
 	lastStats   core.Stats
 	lastDropped int
+	lastWorkers int
+	lastMorsels int
 }
 
 func (a *sgbAggOp) schema() Schema { return a.sch }
 func (a *sgbAggOp) close() error   { return nil }
 
-func (a *sgbAggOp) open() error {
+func (a *sgbAggOp) parallelRun() (int, int) { return a.lastWorkers, a.lastMorsels }
+
+// collectSerial drains the child operator batch-wise into a tuple buffer.
+func (a *sgbAggOp) collectSerial() ([]Row, error) {
 	if err := a.child.open(); err != nil {
-		return err
+		return nil, err
 	}
 	defer a.child.close()
-	opt := core.Options{
-		Metric:    a.spec.Metric,
-		Eps:       a.spec.Eps,
-		Overlap:   a.spec.Overlap,
-		Algorithm: a.algorithm,
+	var tuples []Row
+	buf := make([]Row, 0, a.qc.batchSize())
+	for {
+		batch, err := fetchBatch(a.child, buf)
+		if err == io.EOF {
+			return tuples, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := a.qc.poll(); err != nil {
+			return nil, err
+		}
+		if err := a.qc.addRows(len(batch)); err != nil {
+			return nil, err
+		}
+		tuples = append(tuples, batch...)
 	}
+}
+
+// collectParallel evaluates the morsel fragment across the worker pool and
+// reassembles the surviving tuples in ascending morsel order, which — morsels
+// being contiguous input ranges — reproduces the serial input order exactly.
+func (a *sgbAggOp) collectParallel() ([]Row, error) {
+	chunks := make([][]Row, a.frag.morselCount(a.qc))
+	morsels, used, err := a.frag.run(a.qc, a.workers, func(m int, rows []Row) error {
+		if err := a.qc.addRows(len(rows)); err != nil {
+			return err
+		}
+		chunks[m] = append([]Row(nil), rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var total int
+	for _, c := range chunks {
+		total += len(c)
+	}
+	tuples := make([]Row, 0, total)
+	for _, c := range chunks {
+		tuples = append(tuples, c...)
+	}
+	a.lastWorkers, a.lastMorsels = used, morsels
+	return tuples, nil
+}
+
+// pointsOf maps the tuples onto grouping-space points. All points are carved
+// out of one flat coordinate arena — a single allocation instead of one per
+// row, which the hot path of every SGB query used to pay.
+func (a *sgbAggOp) pointsOf(tuples []Row) ([]geom.Point, error) {
+	dim := len(a.groupExprs)
+	arena := make([]float64, len(tuples)*dim)
+	pts := make([]geom.Point, len(tuples))
+	for t, r := range tuples {
+		p := geom.Point(arena[t*dim : (t+1)*dim : (t+1)*dim])
+		for i, g := range a.groupExprs {
+			v, err := g(r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				return nil, fmt.Errorf("engine: NULL in similarity grouping attribute %d", i+1)
+			}
+			if p[i], err = v.AsFloat(); err != nil {
+				return nil, fmt.Errorf("engine: similarity grouping attribute %d: %v", i+1, err)
+			}
+		}
+		pts[t] = p
+	}
+	return pts, nil
+}
+
+// groupSerial feeds the points through the single-threaded core grouper
+// matching the spec's mode and the session's algorithm.
+func (a *sgbAggOp) groupSerial(points []geom.Point, opt core.Options) (*core.Result, error) {
 	var addPoint func(geom.Point) (int, error)
 	var finish func() (*core.Result, error)
 	if a.spec.Mode == SGBAllMode {
 		g, err := core.NewAllGrouper(opt)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		g.WithContext(a.qc.context())
 		addPoint, finish = g.Add, g.Finish
@@ -589,50 +791,53 @@ func (a *sgbAggOp) open() error {
 		}
 		g, err := core.NewAnyGrouper(opt)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		g.WithContext(a.qc.context())
 		addPoint, finish = g.Add, g.Finish
 	}
-	var tuples []Row
-	for {
-		r, err := a.child.next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return err
-		}
-		if err := a.qc.tick(); err != nil {
-			return err
-		}
-		if err := a.qc.addRows(1); err != nil {
-			return err
-		}
-		p := make(geom.Point, len(a.groupExprs))
-		for i, g := range a.groupExprs {
-			v, err := g(r)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				return fmt.Errorf("engine: NULL in similarity grouping attribute %d", i+1)
-			}
-			if p[i], err = v.AsFloat(); err != nil {
-				return fmt.Errorf("engine: similarity grouping attribute %d: %v", i+1, err)
-			}
-		}
+	for _, p := range points {
 		if _, err := addPoint(p); err != nil {
-			return err
+			return nil, err
 		}
-		tuples = append(tuples, r)
+	}
+	return finish()
+}
+
+func (a *sgbAggOp) open() error {
+	a.lastWorkers, a.lastMorsels = 0, 0
+	parallel := a.frag != nil && a.workers > 1 && a.spec.Mode == SGBAnyMode
+	var tuples []Row
+	var err error
+	if parallel {
+		tuples, err = a.collectParallel()
+	} else {
+		tuples, err = a.collectSerial()
+	}
+	if err != nil {
+		return err
 	}
 	a.rows = a.rows[:0]
 	if len(tuples) == 0 {
 		a.pos = 0
 		return nil
 	}
-	res, err := finish()
+	points, err := a.pointsOf(tuples)
+	if err != nil {
+		return err
+	}
+	opt := core.Options{
+		Metric:    a.spec.Metric,
+		Eps:       a.spec.Eps,
+		Overlap:   a.spec.Overlap,
+		Algorithm: a.algorithm,
+	}
+	var res *core.Result
+	if parallel {
+		res, err = core.SGBAnyParallelCtx(a.qc.context(), points, opt, a.workers)
+	} else {
+		res, err = a.groupSerial(points, opt)
+	}
 	if err != nil {
 		return err
 	}

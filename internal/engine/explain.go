@@ -51,15 +51,23 @@ func describeOp(op operator) (label string, children []operator, known bool) {
 		}
 		return label, []operator{op.child}, true
 	case *hashAggOp:
-		return fmt.Sprintf("HashAggregate (%d group key(s), %d aggregate(s))",
-			len(op.groupExprs), len(op.calls)), []operator{op.child}, true
+		prefix := ""
+		if op.frag != nil && op.workers > 1 {
+			prefix = "Parallel "
+		}
+		return fmt.Sprintf("%sHashAggregate (%d group key(s), %d aggregate(s))",
+			prefix, len(op.groupExprs), len(op.calls)), []operator{op.child}, true
 	case *sgbAggOp:
 		mode := "DISTANCE-TO-ALL " + op.spec.Overlap.String()
 		if op.spec.Mode == SGBAnyMode {
 			mode = "DISTANCE-TO-ANY"
 		}
-		return fmt.Sprintf("SimilarityGroupBy %s %s WITHIN %g [%s] (%d aggregate(s))",
-			mode, op.spec.Metric, op.spec.Eps, op.algorithm, len(op.calls)), []operator{op.child}, true
+		prefix := ""
+		if op.frag != nil && op.workers > 1 {
+			prefix = "Parallel "
+		}
+		return fmt.Sprintf("%sSimilarityGroupBy %s %s WITHIN %g [%s] (%d aggregate(s))",
+			prefix, mode, op.spec.Metric, op.spec.Eps, op.algorithm, len(op.calls)), []operator{op.child}, true
 	}
 	return fmt.Sprintf("%T", op), nil, false
 }

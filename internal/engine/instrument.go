@@ -97,15 +97,23 @@ func (d *distinctOp) actuals() string {
 }
 
 func (a *hashAggOp) actuals() string {
-	return fmt.Sprintf("Hash Table: groups=%d input rows=%d", a.nGroups, a.inRows)
+	s := fmt.Sprintf("Hash Table: groups=%d input rows=%d", a.nGroups, a.inRows)
+	if a.lastWorkers > 1 {
+		s += fmt.Sprintf(" workers=%d batches=%d", a.lastWorkers, a.lastMorsels)
+	}
+	return s
 }
 
 // actuals surfaces the core grouper's cost counters — the quantities the
 // paper's cost analysis reasons about — under the SimilarityGroupBy node.
 func (a *sgbAggOp) actuals() string {
 	s := a.lastStats
-	return fmt.Sprintf(
+	line := fmt.Sprintf(
 		"SGB Stats: points=%d distance_comps=%d rect_tests=%d hull_tests=%d window_queries=%d index_updates=%d rounds=%d merged=%d dropped=%d",
 		s.Points, s.DistanceComps, s.RectTests, s.HullTests,
 		s.WindowQueries, s.IndexUpdates, s.Rounds, s.GroupsMerged, a.lastDropped)
+	if a.lastWorkers > 1 {
+		line += fmt.Sprintf(" workers=%d batches=%d", a.lastWorkers, a.lastMorsels)
+	}
+	return line
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,49 +35,65 @@ func (e *ResourceLimitError) Error() string {
 	return fmt.Sprintf("engine: query exceeded %s limit (%s)", e.Resource, e.Limit)
 }
 
-// cancelCheckStride is how many next() steps an operator takes between
-// context polls: frequent enough that cancellation lands promptly mid-scan,
-// rare enough that the poll never shows up in a profile.
+// cancelCheckStride is how many row-at-a-time next() steps an operator takes
+// between context polls: frequent enough that cancellation lands promptly
+// mid-scan, rare enough that the poll never shows up in a profile. Batch
+// operators poll once per batch instead (see queryCtx.poll).
 const cancelCheckStride = 1024
 
-// queryCtx threads cancellation and row accounting through one statement's
-// operator tree. Every operator of a plan shares one instance (including the
-// plans of scalar/IN subqueries), so the row budget is per statement, not per
-// operator. A statement executes on a single goroutine, so no fields need
-// atomic access. The nil *queryCtx is valid and never cancels or limits —
-// plan-only contexts (view validation) use it.
+// queryCtx threads cancellation, row accounting, and the execution-shape
+// settings (parallelism, batch size) through one statement's operator tree.
+// Every operator of a plan shares one instance (including the plans of
+// scalar/IN subqueries), so the row budget is per statement, not per
+// operator. Morsel-parallel operators run worker goroutines that share this
+// struct, so the mutable counters are atomics: the row budget and the
+// cancellation stride are counted across all workers. The nil *queryCtx is
+// valid and never cancels or limits — plan-only contexts (view validation)
+// use it.
 type queryCtx struct {
 	ctx     context.Context
 	maxRows int64 // 0 = unlimited
-	rows    int64 // rows materialized so far
-	calls   uint64
+	workers int   // resolved statement parallelism; <=1 = serial
+	batch   int   // batch/morsel row count; <=0 = defaultBatchSize
+	rows    atomic.Int64
+	calls   atomic.Uint64
 }
 
 func newQueryCtx(ctx context.Context, lim Limits) *queryCtx {
 	return &queryCtx{ctx: ctx, maxRows: lim.MaxRowsMaterialized}
 }
 
-// tick is called once per operator step; every cancelCheckStride calls it
-// polls the context so a canceled or deadline-expired statement aborts
-// mid-scan, mid-join-build, and mid-aggregation.
+// tick is called once per row-at-a-time operator step; every
+// cancelCheckStride calls it polls the context so a canceled or
+// deadline-expired statement aborts mid-scan, mid-join-build, and
+// mid-aggregation.
 func (q *queryCtx) tick() error {
 	if q == nil {
 		return nil
 	}
-	q.calls++
-	if q.calls%cancelCheckStride != 0 {
+	if q.calls.Add(1)%cancelCheckStride != 0 {
 		return nil
 	}
 	return q.ctx.Err()
 }
 
-// addRows charges n newly materialized rows against the row budget.
+// poll checks for cancellation unconditionally. Batch operators and morsel
+// workers call it once per batch/morsel (~batchSize rows), which keeps
+// cancellation latency bounded without a per-row branch.
+func (q *queryCtx) poll() error {
+	if q == nil {
+		return nil
+	}
+	return q.ctx.Err()
+}
+
+// addRows charges n newly materialized rows against the row budget. The
+// counter is atomic, so morsel workers charge a shared per-statement budget.
 func (q *queryCtx) addRows(n int) error {
 	if q == nil || q.maxRows <= 0 {
 		return nil
 	}
-	q.rows += int64(n)
-	if q.rows > q.maxRows {
+	if q.rows.Add(int64(n)) > q.maxRows {
 		return &ResourceLimitError{
 			Resource: "rows",
 			Limit:    fmt.Sprintf("%d rows materialized", q.maxRows),
@@ -92,4 +109,20 @@ func (q *queryCtx) context() context.Context {
 		return context.Background()
 	}
 	return q.ctx
+}
+
+// batchSize is the statement's batch/morsel row count.
+func (q *queryCtx) batchSize() int {
+	if q == nil || q.batch <= 0 {
+		return defaultBatchSize
+	}
+	return q.batch
+}
+
+// parallelism is the statement's resolved worker count (>= 1).
+func (q *queryCtx) parallelism() int {
+	if q == nil || q.workers <= 0 {
+		return 1
+	}
+	return q.workers
 }

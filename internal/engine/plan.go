@@ -3,6 +3,8 @@ package engine
 import (
 	"fmt"
 	"strconv"
+
+	"sgb/internal/core"
 )
 
 // planContext carries the catalog and SGB configuration through planning,
@@ -11,6 +13,10 @@ import (
 type planContext struct {
 	db     *DB
 	sgbOps []*sgbAggOp
+	// parOps collects the operators that may run a morsel-parallel fragment,
+	// so the executed worker/morsel counts can feed the engine_parallel_*
+	// metrics after the statement completes.
+	parOps []parallelReporter
 	// qc is the executing statement's query context; the planner stamps it
 	// into every operator it builds so cancellation and row limits reach the
 	// whole tree, including subquery plans. nil for plan-only contexts
@@ -106,7 +112,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				sources[i] = &filterOp{child: sources[i], pred: pred}
+				sources[i] = &filterOp{child: sources[i], pred: pred, parSafe: exprParallelSafe(c)}
 			} else {
 				rest = append(rest, c)
 			}
@@ -166,7 +172,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				cur = &filterOp{child: cur, pred: pred}
+				cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c)}
 			} else {
 				still = append(still, c)
 			}
@@ -178,7 +184,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur = &filterOp{child: cur, pred: pred}
+		cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c)}
 	}
 
 	// Aggregation path?
@@ -323,6 +329,7 @@ func (pc *planContext) planProjection(items []SelectItem, child operator) (opera
 	}
 	var fns []evalFn
 	var sch Schema
+	safe := true
 	for i, it := range items {
 		if it.Star {
 			return nil, nil, fmt.Errorf("engine: SELECT * cannot be mixed with other select items")
@@ -331,10 +338,11 @@ func (pc *planContext) planProjection(items []SelectItem, child operator) (opera
 		if err != nil {
 			return nil, nil, err
 		}
+		safe = safe && exprParallelSafe(it.Expr)
 		fns = append(fns, f)
 		sch = append(sch, Column{Name: outputName(it, i), T: inferType(it.Expr, child.schema())})
 	}
-	return &projectOp{child: child, sch: sch, fns: fns}, sch, nil
+	return &projectOp{child: child, sch: sch, fns: fns, parSafe: safe}, sch, nil
 }
 
 // planAggregate lowers a grouped (or globally aggregated) SELECT:
@@ -409,10 +417,13 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 			algorithm:  pc.db.SGBAlgorithm(),
 			qc:         pc.qc,
 		}
+		pc.markParallelSGB(op, groupExprs, rw)
 		pc.sgbOps = append(pc.sgbOps, op)
 		aggOp = op
 	} else {
-		aggOp = &hashAggOp{child: child, groupExprs: groupFns, calls: rw.calls, sch: internal, qc: pc.qc}
+		op := &hashAggOp{child: child, groupExprs: groupFns, calls: rw.calls, sch: internal, qc: pc.qc}
+		pc.markParallelHashAgg(op, groupExprs, rw)
+		aggOp = op
 	}
 
 	cur := aggOp
@@ -447,6 +458,73 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 		outSchema = append(outSchema, Column{Name: outputName(stmt.Select[i], i), T: inferType(e, internal)})
 	}
 	return &projectOp{child: cur, sch: outSchema, fns: fns}, nil
+}
+
+// parallelFragment vets an aggregation input pipeline for morsel parallelism:
+// the session must allow more than one worker, the grouping expressions must
+// compile to goroutine-safe closures, and the child chain must be an
+// extractable scan→filter(→project) fragment over a table larger than one
+// batch — the size floor keeps tiny (test and golden-file) queries on the
+// serial path, where output is trivially machine-independent.
+func (pc *planContext) parallelFragment(child operator, groupExprs []Expr) *morselFragment {
+	if pc.qc.parallelism() <= 1 {
+		return nil
+	}
+	for _, g := range groupExprs {
+		if !exprParallelSafe(g) {
+			return nil
+		}
+	}
+	frag := extractFragment(child)
+	if frag == nil || len(frag.table.Rows) <= pc.qc.batchSize() {
+		return nil
+	}
+	return frag
+}
+
+// markParallelHashAgg flags a hash aggregation for two-phase parallel
+// execution when its input fragment qualifies and every aggregate call's
+// partial states can be merged (no DISTINCT) from goroutine-safe argument
+// expressions.
+func (pc *planContext) markParallelHashAgg(op *hashAggOp, groupExprs []Expr, rw *aggRewriter) {
+	frag := pc.parallelFragment(op.child, groupExprs)
+	if frag == nil {
+		return
+	}
+	for j, c := range rw.calls {
+		if !c.mergeable() || !exprParallelSafe(rw.callExprs[j]) {
+			return
+		}
+	}
+	op.frag, op.workers = frag, pc.qc.parallelism()
+	pc.parOps = append(pc.parOps, op)
+}
+
+// markParallelSGB flags an SGB operator for parallel execution. Only SGB-Any
+// under the default on-the-fly-index algorithm routes through the core's
+// grid-partition SGBAnyParallelCtx: its output is provably identical to the
+// serial grouper's (connected components are order-free), whereas SGB-All's
+// group formation is input-order- and overlap-clause-sensitive. Keeping the
+// explicitly selected All-Pairs/Bounds-Checking variants serial also
+// preserves their meaning as benchmark baselines.
+func (pc *planContext) markParallelSGB(op *sgbAggOp, groupExprs []Expr, rw *aggRewriter) {
+	if op.spec.Mode != SGBAnyMode || op.algorithm != core.IndexBounds {
+		return
+	}
+	frag := pc.parallelFragment(op.child, groupExprs)
+	if frag == nil {
+		return
+	}
+	// Aggregate evaluation runs on the driver after grouping, so call
+	// arguments need not be goroutine-safe; the gate stays symmetric with
+	// hash aggregation anyway to keep parallel-plan eligibility predictable.
+	for _, e := range rw.callExprs {
+		if !exprParallelSafe(e) {
+			return
+		}
+	}
+	op.frag, op.workers = frag, pc.qc.parallelism()
+	pc.parOps = append(pc.parOps, op)
 }
 
 // aggRewriter replaces grouping expressions and aggregate calls with

@@ -170,3 +170,16 @@ func (h *Incremental) Contains(p geom.Point) bool { return Contains(h.verts, p) 
 func (h *Incremental) Farthest(m geom.Metric, p geom.Point) (geom.Point, float64) {
 	return Farthest(m, h.verts, p)
 }
+
+// AllWithin reports whether every hull vertex satisfies ξ(δ,ε) with p —
+// equivalent to Farthest(m, p) ≤ eps but sqrt-free: geom.Within compares
+// squared distances under L2 and the scan exits on the first vertex outside
+// ε, so the refinement on the SGB-All hot path never pays a square root.
+func (h *Incremental) AllWithin(m geom.Metric, p geom.Point, eps float64) bool {
+	for _, v := range h.verts {
+		if !geom.Within(m, v, p, eps) {
+			return false
+		}
+	}
+	return true
+}
