@@ -1,5 +1,10 @@
 // Command sgbcli is an interactive SQL shell for the similarity group-by
-// engine. Statements end with ';'. Meta commands:
+// engine. By default it runs against an embedded in-process database; with
+// -connect host:port it speaks the wire protocol to a running sgbd instead,
+// and the settings meta commands (\alg, \parallel, \batch, \limits) map onto
+// session-scoped settings of that connection.
+//
+// Statements end with ';'. Meta commands:
 //
 //	\tables              list tables
 //	\load tpch <SF>      generate and load TPC-H-style data
@@ -18,9 +23,14 @@
 //	                     set per-query resource limits (no args: show)
 //	\q                   quit
 //
-// Ctrl-C while a statement is executing cancels that statement (the query
-// returns a cancellation error and the shell keeps running); Ctrl-C at the
-// prompt exits the shell.
+// In remote mode \tables, \load, \save, and \open are unavailable (they need
+// the embedded database); everything else works, with \stats fetching the
+// server's metrics registry over the wire.
+//
+// Ctrl-C while a statement is executing cancels that statement (embedded:
+// context cancellation; remote: a wire Cancel frame — the server aborts the
+// query and the connection stays usable); Ctrl-C at the prompt exits the
+// shell.
 //
 // Example session:
 //
@@ -32,7 +42,7 @@ package main
 import (
 	"bufio"
 	"context"
-	"errors"
+	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -41,26 +51,57 @@ import (
 	"time"
 
 	"sgb/internal/checkin"
+	"sgb/internal/client"
 	"sgb/internal/core"
 	"sgb/internal/engine"
 	"sgb/internal/tpch"
 )
 
-// session bundles the shell's state: the database handle plus the
-// observability toggles.
+// session bundles the shell's state: the embedded database handle or the
+// remote connection, plus the observability toggles.
 type session struct {
-	db      *engine.DB
+	db      *engine.DB   // embedded mode (nil when remote)
+	conn    *client.Conn // remote mode (nil when embedded)
 	timing  bool
 	slowLog time.Duration // 0 = disabled
 }
 
+// exec runs one statement with SIGINT wired to query cancellation: Ctrl-C
+// mid-query aborts the statement instead of the shell. In remote mode the
+// context cancellation sends a wire Cancel frame to the server. The signal
+// registration is scoped to the statement, so Ctrl-C at the idle prompt keeps
+// its default exit behaviour.
+func (s *session) exec(sql string) (*engine.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if s.conn != nil {
+		return s.conn.Query(ctx, sql)
+	}
+	return s.db.ExecContext(ctx, sql)
+}
+
 func main() {
-	s := &session{db: engine.NewDB()}
+	connect := flag.String("connect", "", "connect to a remote sgbd at host:port instead of running embedded")
+	flag.Parse()
+
+	s := &session{}
+	if *connect != "" {
+		conn, err := client.Connect(*connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sgbcli: connect:", err)
+			os.Exit(1)
+		}
+		defer conn.Close()
+		s.conn = conn
+		fmt.Printf("connected to %s (%s) — \\q to quit\n", *connect, conn.Server())
+	} else {
+		s.db = engine.NewDB()
+		fmt.Println("similarity group-by shell — \\q to quit, \\load tpch 1 to get data")
+	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
 
-	fmt.Println("similarity group-by shell — \\q to quit, \\load tpch 1 to get data")
 	prompt := func() {
 		if buf.Len() == 0 {
 			fmt.Print("sgb> ")
@@ -88,10 +129,10 @@ func main() {
 		sql := strings.TrimSpace(buf.String())
 		buf.Reset()
 		start := time.Now()
-		res, err := execInterruptible(s.db, sql)
+		res, err := s.exec(sql)
 		elapsed := time.Since(start)
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
+			if client.IsCanceled(err) {
 				fmt.Printf("canceled after %v\n", elapsed.Round(time.Millisecond))
 			} else {
 				fmt.Println("error:", err)
@@ -99,8 +140,8 @@ func main() {
 		} else {
 			printResult(res)
 			if s.timing {
-				if tr := s.db.LastTrace(); tr != nil {
-					fmt.Printf("(%v — %s)\n", elapsed, tr)
+				if s.db != nil && s.db.LastTrace() != nil {
+					fmt.Printf("(%v — %s)\n", elapsed, s.db.LastTrace())
 				} else {
 					fmt.Printf("(%v)\n", elapsed)
 				}
@@ -111,16 +152,6 @@ func main() {
 		}
 		prompt()
 	}
-}
-
-// execInterruptible runs one statement with SIGINT wired to query
-// cancellation: Ctrl-C mid-query aborts the statement instead of the shell.
-// The signal registration is scoped to the statement, so Ctrl-C at the idle
-// prompt keeps its default exit behaviour.
-func execInterruptible(db *engine.DB, sql string) (*engine.Result, error) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	return db.ExecContext(ctx, sql)
 }
 
 // firstLine compresses a statement to one log-friendly line.
@@ -134,6 +165,9 @@ func firstLine(sql string) string {
 
 // meta handles a backslash command; it returns false on \q.
 func meta(s *session, cmd string) bool {
+	if s.conn != nil {
+		return metaRemote(s, cmd)
+	}
 	db := s.db
 	fields := strings.Fields(cmd)
 	switch fields[0] {
@@ -312,6 +346,88 @@ func meta(s *session, cmd string) bool {
 		default:
 			fmt.Println("unknown dataset:", fields[1])
 		}
+	default:
+		fmt.Println("unknown command:", fields[0])
+	}
+	return true
+}
+
+// metaRemote handles a backslash command against a remote sgbd: the settings
+// commands become wire Set messages scoped to this connection's session, and
+// \stats fetches the server's metrics registry. Commands that need the
+// embedded database (\tables, \load, \save, \open) are unavailable.
+func metaRemote(s *session, cmd string) bool {
+	c := s.conn
+	fields := strings.Fields(cmd)
+	// set sends one session-setting change and reports the outcome.
+	set := func(name, value string) {
+		if err := c.Set(name, value); err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Printf("%s = %s\n", name, value)
+		}
+	}
+	switch fields[0] {
+	case "\\q", "\\quit":
+		return false
+	case "\\timing":
+		s.timing = !s.timing
+		fmt.Println("timing:", s.timing)
+	case "\\slowlog":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\slowlog <milliseconds>  (0 disables)")
+			break
+		}
+		ms, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || ms < 0 {
+			fmt.Println("bad threshold:", fields[1])
+			break
+		}
+		s.slowLog = time.Duration(ms * float64(time.Millisecond))
+		if s.slowLog == 0 {
+			fmt.Println("slow-query log disabled")
+		} else {
+			fmt.Printf("logging queries slower than %v to stderr\n", s.slowLog)
+		}
+	case "\\stats":
+		text, err := c.Stats()
+		if err != nil {
+			fmt.Println("stats failed:", err)
+			break
+		}
+		fmt.Print(text)
+	case "\\alg":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\alg allpairs|bounds|index")
+			break
+		}
+		set("sgb_algorithm", fields[1])
+	case "\\parallel":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\parallel <n>  (0 = auto, 1 = serial)")
+			break
+		}
+		set("parallelism", fields[1])
+	case "\\batch":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\batch <n>  (0 = engine default)")
+			break
+		}
+		set("batch_size", fields[1])
+	case "\\limits":
+		switch {
+		case len(fields) == 2 && fields[1] == "off":
+			set("max_rows", "0")
+			set("max_time", "0")
+		case len(fields) == 3 && fields[1] == "rows":
+			set("max_rows", fields[2])
+		case len(fields) == 3 && fields[1] == "time":
+			set("max_time", fields[2])
+		default:
+			fmt.Println("usage: \\limits rows <n> | time <duration> | off")
+		}
+	case "\\tables", "\\load", "\\save", "\\open":
+		fmt.Printf("%s needs the embedded database; not available with -connect\n", fields[0])
 	default:
 		fmt.Println("unknown command:", fields[0])
 	}

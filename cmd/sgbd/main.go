@@ -1,0 +1,159 @@
+// Command sgbd is the similarity group-by database server: it serves a
+// shared engine.DB over the internal/wire TCP protocol and exports
+// Prometheus metrics over HTTP.
+//
+//	sgbd -addr 127.0.0.1:7433 -metrics-addr 127.0.0.1:9433 \
+//	     -snapshot data.sgb -max-conns 100 -idle-timeout 5m
+//
+// Flags:
+//
+//	-addr            TCP listen address for the wire protocol
+//	-metrics-addr    HTTP listen address for /metrics ("" disables)
+//	-snapshot FILE   load FILE at boot when it exists; save back on shutdown
+//	-max-conns N     reject connections beyond N concurrently open (0 = off)
+//	-idle-timeout D  close connections idle between statements for D (0 = off)
+//	-parallel N      default session worker count (0 = auto/GOMAXPROCS)
+//	-batch N         default session batch/morsel row count (0 = engine default)
+//	-max-rows N      default per-query row-materialization limit (0 = off)
+//	-max-time D      default per-query execution time limit (0 = off)
+//	-alg NAME        default SGB algorithm: allpairs | bounds | index
+//	-drain-timeout D grace period for in-flight statements on shutdown
+//
+// Per-connection sessions inherit these defaults and may override them with
+// wire Set messages (sgbcli -connect maps \parallel, \batch, \limits, \alg
+// onto those). SIGINT/SIGTERM drain gracefully: the listener closes, in-
+// flight statements get -drain-timeout to finish, then the snapshot (if
+// configured) is saved.
+//
+// sgbd prints "listening on <addr>" and "metrics on http://<addr>/metrics"
+// to stdout once ready, so scripts using ":0" ports can scrape the actual
+// addresses.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sgb/internal/core"
+	"sgb/internal/engine"
+	"sgb/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7433", "wire protocol listen address")
+		metricsAddr  = flag.String("metrics-addr", "127.0.0.1:9433", "HTTP /metrics listen address (empty disables)")
+		snapshot     = flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown")
+		maxConns     = flag.Int("max-conns", 0, "max concurrently open connections (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle between statements this long (0 = never)")
+		parallel     = flag.Int("parallel", 0, "default session parallelism (0 = auto)")
+		batch        = flag.Int("batch", 0, "default session batch size (0 = engine default)")
+		maxRows      = flag.Int64("max-rows", 0, "default per-query rows-materialized limit (0 = unlimited)")
+		maxTime      = flag.Duration("max-time", 0, "default per-query execution time limit (0 = unlimited)")
+		alg          = flag.String("alg", "index", "default SGB algorithm: allpairs|bounds|index")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight statements on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *metricsAddr, *snapshot, *maxConns, *idleTimeout,
+		*parallel, *batch, *maxRows, *maxTime, *alg, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, metricsAddr, snapshot string, maxConns int, idleTimeout time.Duration,
+	parallel, batch int, maxRows int64, maxTime time.Duration, alg string,
+	drainTimeout time.Duration) error {
+
+	db, err := openDB(snapshot)
+	if err != nil {
+		return err
+	}
+	switch alg {
+	case "allpairs":
+		db.SetSGBAlgorithm(core.AllPairs)
+	case "bounds":
+		db.SetSGBAlgorithm(core.BoundsChecking)
+	case "index":
+		db.SetSGBAlgorithm(core.IndexBounds)
+	default:
+		return fmt.Errorf("unknown -alg %q (want allpairs|bounds|index)", alg)
+	}
+	db.SetParallelism(parallel)
+	db.SetBatchSize(batch)
+	db.SetLimits(engine.Limits{MaxRowsMaterialized: maxRows, MaxExecutionTime: maxTime})
+
+	srv := server.New(db, server.Config{
+		Addr:        addr,
+		MaxConns:    maxConns,
+		IdleTimeout: idleTimeout,
+	})
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("listening on %s\n", srv.Addr())
+
+	var metricsSrv *http.Server
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", metricsAddr, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = db.Metrics().WritePrometheus(w)
+		})
+		metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
+	// statements for drainTimeout, then force-cancels what remains.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigCh
+	fmt.Printf("received %s, draining (grace %v)\n", sig, drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbd: drain incomplete:", err)
+	}
+	if metricsSrv != nil {
+		_ = metricsSrv.Shutdown(context.Background())
+	}
+	if snapshot != "" {
+		if err := server.SaveSnapshotFile(db, snapshot); err != nil {
+			return err
+		}
+		fmt.Printf("snapshot saved to %s\n", snapshot)
+	}
+	return nil
+}
+
+// openDB boots the database: from the snapshot file when one is configured
+// and present, empty otherwise.
+func openDB(snapshot string) (*engine.DB, error) {
+	if snapshot == "" {
+		return engine.NewDB(), nil
+	}
+	db, err := server.LoadSnapshotFile(snapshot)
+	if os.IsNotExist(err) {
+		fmt.Printf("snapshot %s not found, starting empty\n", snapshot)
+		return engine.NewDB(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("loaded snapshot %s (%d tables)\n", snapshot, len(db.Catalog().Names()))
+	return db, nil
+}

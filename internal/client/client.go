@@ -1,0 +1,381 @@
+// Package client is the Go client for sgbd's wire protocol. It exposes the
+// same Result shape as the embedded engine API, so code written against
+// engine.DB ports to a remote server by swapping the handle:
+//
+//	conn, err := client.Connect("127.0.0.1:7433")
+//	res, err := conn.Query(ctx, "SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 0.5")
+//
+// Query materializes; Stream returns a Rows iterator that yields batches as
+// they arrive. Canceling the context mid-query sends a wire Cancel frame:
+// the server aborts the statement promptly and the connection stays usable
+// for the next query.
+//
+// A Conn runs one query at a time (calls serialize on an internal mutex);
+// open several connections for concurrent statements.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sgb/internal/engine"
+	"sgb/internal/wire"
+)
+
+// ServerError is a typed failure reported by the server. Use the wire.Code*
+// constants to classify it.
+type ServerError = wire.Error
+
+// Conn is one client connection to an sgbd server.
+type Conn struct {
+	nc net.Conn
+
+	// wmu serializes frame writes: Cancel is sent from the canceling
+	// goroutine while the querying goroutine owns the conversation.
+	wmu sync.Mutex
+	// qmu serializes conversations (query/set/ping); one at a time per conn.
+	qmu sync.Mutex
+
+	// closed is set under qmu+wmu by Close.
+	closed bool
+
+	server string // server identification from the Welcome handshake
+}
+
+// Connect dials addr and performs the protocol handshake.
+func Connect(addr string) (*Conn, error) {
+	return ConnectContext(context.Background(), addr)
+}
+
+// ConnectContext is Connect bounded by ctx (dial and handshake).
+func ConnectContext(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc}
+	if deadline, ok := ctx.Deadline(); ok {
+		nc.SetDeadline(deadline)
+	} else {
+		nc.SetDeadline(time.Now().Add(10 * time.Second))
+	}
+	defer nc.SetDeadline(time.Time{})
+	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.Version}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	msg, err := wire.ReadMessage(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch m := msg.(type) {
+	case *wire.Welcome:
+		c.server = m.Server
+		return c, nil
+	case *wire.Error:
+		nc.Close()
+		return nil, m
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %T", msg)
+	}
+}
+
+// Server reports the server identification string from the handshake.
+func (c *Conn) Server() string { return c.server }
+
+// Close sends a graceful goodbye and closes the socket.
+func (c *Conn) Close() error {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	_ = wire.WriteMessage(c.nc, &wire.Close{})
+	return c.nc.Close()
+}
+
+// writeMsg sends one frame under the write lock.
+func (c *Conn) writeMsg(m wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return net.ErrClosed
+	}
+	return wire.WriteMessage(c.nc, m)
+}
+
+// Cancel asks the server to abort the connection's in-flight query, if any.
+// It is safe to call from any goroutine — a REPL's Ctrl-C handler, a
+// context watcher — while another goroutine is reading the query's rows.
+func (c *Conn) Cancel() error {
+	return c.writeMsg(&wire.Cancel{})
+}
+
+// Query executes one statement and materializes the full result — the same
+// Result shape the embedded engine.DB.ExecContext returns. Canceling ctx
+// mid-query sends a wire Cancel and returns ctx.Err().
+func (c *Conn) Query(ctx context.Context, sql string) (*engine.Result, error) {
+	rows, err := c.Stream(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	res := &engine.Result{Columns: rows.Columns()}
+	for {
+		batch, err := rows.NextBatch()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, batch...)
+	}
+	res.RowsAffected = int(rows.RowsAffected())
+	return res, nil
+}
+
+// Exec is Query without a context, mirroring engine.DB.Exec.
+func (c *Conn) Exec(sql string) (*engine.Result, error) {
+	return c.Query(context.Background(), sql)
+}
+
+// Rows is a streamed query result. It must be drained (NextBatch to io.EOF)
+// or Close()d before the connection can run another statement.
+type Rows struct {
+	c        *Conn
+	ctx      context.Context
+	cols     []string
+	done     bool
+	affected int64
+	rowCount int64
+	// stopWatch releases the context watcher goroutine; cancelMu/finished
+	// fence the watcher's Cancel against query completion, so a Cancel frame
+	// can never land after a subsequent Query frame.
+	stopWatch chan struct{}
+	watchOnce sync.Once
+	cancelMu  sync.Mutex
+	finished  bool
+}
+
+// Stream executes one statement and returns an iterator over its row
+// batches. The first response frame (RowHeader, Done, or Error) is consumed
+// before Stream returns, so column names are immediately available.
+func (c *Conn) Stream(ctx context.Context, sql string) (*Rows, error) {
+	c.qmu.Lock()
+	// The lock is held until the Rows is fully drained or closed; Rows.finish
+	// releases it.
+	if err := c.writeMsg(&wire.Query{SQL: sql}); err != nil {
+		c.qmu.Unlock()
+		return nil, err
+	}
+	r := &Rows{c: c, ctx: ctx, stopWatch: make(chan struct{})}
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Best effort: the server replies with CodeCanceled, which
+				// the reading goroutine maps back to ctx.Err(). The fence
+				// skips the send once the query has already completed.
+				r.cancelMu.Lock()
+				if !r.finished {
+					c.Cancel()
+				}
+				r.cancelMu.Unlock()
+			case <-r.stopWatch:
+			}
+		}()
+	}
+
+	msg, err := r.read()
+	if err != nil {
+		r.finish()
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.RowHeader:
+		r.cols = m.Columns
+		return r, nil
+	case *wire.Done:
+		// Columnless statement (DDL/DML): the result is complete.
+		r.affected, r.rowCount = m.RowsAffected, m.RowCount
+		r.finish()
+		return r, nil
+	default:
+		r.finish()
+		return nil, fmt.Errorf("client: unexpected %T starting result", msg)
+	}
+}
+
+// read receives the next frame, mapping server-reported failures (and local
+// context cancellation) to errors.
+func (r *Rows) read() (wire.Message, error) {
+	msg, err := wire.ReadMessage(r.c.nc)
+	if err != nil {
+		// The socket is broken; no further queries can run on this conn.
+		return nil, err
+	}
+	if e, ok := msg.(*wire.Error); ok {
+		if e.Code == wire.CodeCanceled && r.ctx.Err() != nil {
+			return nil, r.ctx.Err()
+		}
+		return nil, e
+	}
+	return msg, nil
+}
+
+// Columns names the result columns (empty for DDL/DML).
+func (r *Rows) Columns() []string { return r.cols }
+
+// RowsAffected reports the DML row count; valid once the stream is drained.
+func (r *Rows) RowsAffected() int64 { return r.affected }
+
+// RowCount reports the server-side total row count; valid once drained.
+func (r *Rows) RowCount() int64 { return r.rowCount }
+
+// NextBatch returns the next batch of rows, or io.EOF when the result is
+// complete. Any other error means the statement failed (typed *ServerError,
+// or the context error after a cancellation).
+func (r *Rows) NextBatch() ([]engine.Row, error) {
+	if r.done {
+		return nil, io.EOF
+	}
+	msg, err := r.read()
+	if err != nil {
+		r.finish()
+		return nil, err
+	}
+	switch m := msg.(type) {
+	case *wire.RowBatch:
+		return m.Rows, nil
+	case *wire.Done:
+		r.affected, r.rowCount = m.RowsAffected, m.RowCount
+		r.finish()
+		return nil, io.EOF
+	default:
+		r.finish()
+		return nil, fmt.Errorf("client: unexpected %T mid-result", msg)
+	}
+}
+
+// Close drains and discards the remainder of the stream so the connection
+// can run the next statement.
+func (r *Rows) Close() error {
+	for !r.done {
+		if _, err := r.NextBatch(); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// finish releases the per-query resources: the context watcher and the
+// conversation lock.
+func (r *Rows) finish() {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.cancelMu.Lock()
+	r.finished = true
+	r.cancelMu.Unlock()
+	r.watchOnce.Do(func() { close(r.stopWatch) })
+	r.c.qmu.Unlock()
+}
+
+// Set changes one session-scoped setting on the server. Names:
+// sgb_algorithm (allpairs|bounds|index), parallelism, batch_size, max_rows,
+// max_time (Go duration, "0" clears).
+func (c *Conn) Set(name, value string) error {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if err := c.writeMsg(&wire.Set{Name: name, Value: value}); err != nil {
+		return err
+	}
+	return c.expectDone()
+}
+
+// Ping round-trips a liveness probe.
+func (c *Conn) Ping(ctx context.Context) error {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if deadline, ok := ctx.Deadline(); ok {
+		c.nc.SetReadDeadline(deadline)
+		defer c.nc.SetReadDeadline(time.Time{})
+	}
+	if err := c.writeMsg(&wire.Ping{}); err != nil {
+		return err
+	}
+	msg, err := wire.ReadMessage(c.nc)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.Pong:
+		return nil
+	case *wire.Error:
+		return m
+	default:
+		return fmt.Errorf("client: unexpected %T to Ping", msg)
+	}
+}
+
+// Stats fetches the server's metrics registry in Prometheus text format.
+func (c *Conn) Stats() (string, error) {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if err := c.writeMsg(&wire.Stats{}); err != nil {
+		return "", err
+	}
+	msg, err := wire.ReadMessage(c.nc)
+	if err != nil {
+		return "", err
+	}
+	switch m := msg.(type) {
+	case *wire.StatsText:
+		return m.Text, nil
+	case *wire.Error:
+		return "", m
+	default:
+		return "", fmt.Errorf("client: unexpected %T to Stats", msg)
+	}
+}
+
+// expectDone reads the acknowledgement for a settings change.
+func (c *Conn) expectDone() error {
+	msg, err := wire.ReadMessage(c.nc)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.Done:
+		return nil
+	case *wire.Error:
+		return m
+	default:
+		return fmt.Errorf("client: unexpected %T to Set", msg)
+	}
+}
+
+// IsCanceled reports whether err is a cancellation: either the local context
+// error or the server's typed canceled code.
+func IsCanceled(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeCanceled
+}

@@ -8,6 +8,11 @@ import "io"
 // noise while keeping per-batch buffers comfortably cache-resident.
 const defaultBatchSize = 1024
 
+// DefaultBatchSize reports the engine's default batch/morsel row count — the
+// granularity the vectorized executor (and the wire protocol's row-batch
+// streaming) uses when no session override is set.
+func DefaultBatchSize() int { return defaultBatchSize }
+
 // batchOperator is the vectorized side of the Volcano interface. nextBatch
 // appends up to cap(dst) rows (defaultBatchSize when dst has no capacity)
 // onto dst[:0] and returns the filled slice; at end of stream it returns

@@ -195,6 +195,26 @@ func (db *DB) Exec(sql string) (*Result, error) {
 // (operators poll on a row stride) and ExecContext returns ctx.Err(). A
 // canceled statement leaves no partial catalog or table mutations behind.
 func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return db.execSQL(ctx, sql, db.settings())
+}
+
+// settings snapshots the DB-level default settings. DB-level setters
+// (SetSGBAlgorithm, SetLimits, SetParallelism, SetBatchSize) configure this
+// default; Sessions take an independent copy at creation time.
+func (db *DB) settings() Settings {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return Settings{
+		SGBAlgorithm: db.sgbAlg,
+		Limits:       db.limits,
+		Parallelism:  db.parallelism,
+		BatchSize:    db.batchSize,
+	}
+}
+
+// execSQL is the shared parse-then-execute driver behind DB.ExecContext and
+// Session.ExecContext; set is the caller's settings snapshot.
+func (db *DB) execSQL(ctx context.Context, sql string, set Settings) (*Result, error) {
 	tr := obs.NewTrace()
 	span := tr.StartSpan("parse")
 	stmt, err := Parse(sql)
@@ -206,7 +226,7 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, error) {
 		db.Metrics().Counter("engine_parse_errors_total").Inc()
 		return nil, err
 	}
-	return db.execTraced(ctx, stmt, tr)
+	return db.execTraced(ctx, stmt, tr, set)
 }
 
 // ExecStmt executes an already parsed statement.
@@ -217,7 +237,7 @@ func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
 // ExecStmtContext executes an already parsed statement under a context, with
 // the same cancellation semantics as ExecContext.
 func (db *DB) ExecStmtContext(ctx context.Context, stmt Statement) (*Result, error) {
-	return db.execTraced(ctx, stmt, obs.NewTrace())
+	return db.execTraced(ctx, stmt, obs.NewTrace(), db.settings())
 }
 
 // isReadOnly reports whether stmt cannot mutate the catalog or table data,
@@ -233,12 +253,15 @@ func isReadOnly(stmt Statement) bool {
 
 // execTraced is the shared statement driver: it applies the configured time
 // limit, takes the statement lock in the right mode, runs the statement, and
-// folds the outcome into the metrics registry and the session state.
-func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace) (*Result, error) {
+// folds the outcome into the metrics registry and the session state. set is
+// the caller's settings snapshot — the statement's whole execution shape
+// (algorithm, limits, parallelism, batch size) is fixed here, at plan time,
+// so concurrent sessions adjusting their own knobs cannot affect it.
+func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set Settings) (*Result, error) {
 	m := db.Metrics()
 	m.Counter("engine_statements_total").Inc()
 
-	lim := db.Limits()
+	lim := set.Limits
 	parent := ctx
 	if lim.MaxExecutionTime > 0 {
 		var cancel context.CancelFunc
@@ -250,8 +273,12 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace) (*R
 	err := ctx.Err()
 	if err == nil {
 		qc := newQueryCtx(ctx, lim)
-		qc.workers = db.Parallelism()
-		qc.batch = db.BatchSize()
+		qc.workers = set.Parallelism
+		if qc.workers <= 0 {
+			qc.workers = runtime.GOMAXPROCS(0)
+		}
+		qc.batch = set.BatchSize
+		qc.alg = set.SGBAlgorithm
 		if isReadOnly(stmt) {
 			db.mu.RLock()
 			res, err = db.execStmt(stmt, tr, qc)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"sgb/internal/core"
 )
 
 // Limits bounds the resources a single statement may consume. A query that
@@ -55,8 +57,11 @@ type queryCtx struct {
 	maxRows int64 // 0 = unlimited
 	workers int   // resolved statement parallelism; <=1 = serial
 	batch   int   // batch/morsel row count; <=0 = defaultBatchSize
-	rows    atomic.Int64
-	calls   atomic.Uint64
+	// alg is the statement's SGB physical algorithm, resolved from the
+	// session settings when the statement starts.
+	alg   core.Algorithm
+	rows  atomic.Int64
+	calls atomic.Uint64
 }
 
 func newQueryCtx(ctx context.Context, lim Limits) *queryCtx {
@@ -125,4 +130,13 @@ func (q *queryCtx) parallelism() int {
 		return 1
 	}
 	return q.workers
+}
+
+// algorithm is the statement's SGB physical algorithm. Plan-only contexts
+// (view validation) have no executing statement and get the engine default.
+func (q *queryCtx) algorithm() core.Algorithm {
+	if q == nil {
+		return core.IndexBounds
+	}
+	return q.alg
 }

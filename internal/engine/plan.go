@@ -414,7 +414,7 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 			calls:      rw.calls,
 			sch:        internal,
 			spec:       *spec,
-			algorithm:  pc.db.SGBAlgorithm(),
+			algorithm:  pc.qc.algorithm(),
 			qc:         pc.qc,
 		}
 		pc.markParallelSGB(op, groupExprs, rw)

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"context"
+	"sync"
+
+	"sgb/internal/core"
+	"sgb/internal/obs"
+)
+
+// Settings is the complete set of session-scoped execution knobs. A snapshot
+// of Settings is taken when a statement starts and is threaded through
+// planning and execution (via queryCtx), so a statement's behaviour is fixed
+// at plan time: concurrent sessions changing their own knobs can never race a
+// statement that is already in flight, and two sessions can hold different
+// settings against the same shared DB.
+type Settings struct {
+	// SGBAlgorithm selects the physical similarity group-by implementation
+	// (All-Pairs, Bounds-Checking, or the on-the-fly index).
+	SGBAlgorithm core.Algorithm
+	// Limits bounds the resources a single statement may consume.
+	Limits Limits
+	// Parallelism is the morsel worker count: 0 = auto (GOMAXPROCS),
+	// 1 = serial.
+	Parallelism int
+	// BatchSize is the batch/morsel row count; 0 = the engine default.
+	BatchSize int
+}
+
+// Session is a per-client view of a shared DB: it carries its own Settings
+// while executing against the DB's catalog and statement lock. Sessions are
+// cheap; the network server creates one per connection. A Session is safe for
+// concurrent use, though the server executes at most one statement per
+// session at a time.
+//
+// Settings start as a snapshot of the DB-level defaults at creation time and
+// evolve independently afterwards: SetParallelism on one session never
+// affects another session or the DB defaults.
+type Session struct {
+	db  *DB
+	mu  sync.Mutex
+	set Settings
+}
+
+// NewSession creates a session over db whose settings are initialized from
+// the DB-level defaults.
+func (db *DB) NewSession() *Session {
+	return &Session{db: db, set: db.settings()}
+}
+
+// DB returns the shared database this session executes against.
+func (s *Session) DB() *DB { return s.db }
+
+// Settings returns a snapshot of the session's current settings.
+func (s *Session) Settings() Settings {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set
+}
+
+// SetSGBAlgorithm selects the SGB physical implementation for subsequent
+// statements on this session only.
+func (s *Session) SetSGBAlgorithm(a core.Algorithm) {
+	s.mu.Lock()
+	s.set.SGBAlgorithm = a
+	s.mu.Unlock()
+}
+
+// SetLimits installs per-query resource limits for subsequent statements on
+// this session only. The zero Limits removes all bounds.
+func (s *Session) SetLimits(lim Limits) {
+	s.mu.Lock()
+	s.set.Limits = lim
+	s.mu.Unlock()
+}
+
+// SetParallelism sets the session's morsel worker count (0 = auto, 1 =
+// serial) for subsequent statements on this session only.
+func (s *Session) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	s.set.Parallelism = n
+	s.mu.Unlock()
+}
+
+// SetBatchSize sets the session's batch/morsel row count (0 = engine
+// default) for subsequent statements on this session only.
+func (s *Session) SetBatchSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.mu.Lock()
+	s.set.BatchSize = n
+	s.mu.Unlock()
+}
+
+// Exec parses and executes one SQL statement under the session's settings.
+func (s *Session) Exec(sql string) (*Result, error) {
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes one SQL statement under the session's
+// settings, with DB.ExecContext's cancellation semantics.
+func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return s.db.execSQL(ctx, sql, s.Settings())
+}
+
+// ExecStmtContext executes an already parsed statement under the session's
+// settings.
+func (s *Session) ExecStmtContext(ctx context.Context, stmt Statement) (*Result, error) {
+	return s.db.execTraced(ctx, stmt, obs.NewTrace(), s.Settings())
+}

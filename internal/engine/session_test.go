@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"sgb/internal/core"
+)
+
+// loadSessionTable creates a small 2-D point table for session tests.
+func loadSessionTable(t *testing.T, db *DB, rows int) {
+	t.Helper()
+	mustExec(t, db, "CREATE TABLE pts (id INT, x FLOAT, y FLOAT)")
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO pts VALUES ")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d.25, %d.75)", i, i%50, i%37)
+	}
+	mustExec(t, db, sb.String())
+}
+
+func mustExec(t *testing.T, db *DB, sql string) *Result {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("exec %q: %v", firstWords(sql), err)
+	}
+	return res
+}
+
+func firstWords(sql string) string {
+	if len(sql) > 60 {
+		return sql[:60] + "..."
+	}
+	return sql
+}
+
+// TestSessionSettingsIsolated is the regression test for the global-knob bug:
+// session setters must not leak into other sessions or the DB defaults.
+// Before settings were session-scoped, SetParallelism/SetBatchSize/SetLimits
+// mutated the shared DB, so two connections raced each other's knobs.
+func TestSessionSettingsIsolated(t *testing.T) {
+	db := NewDB()
+	loadSessionTable(t, db, 100)
+
+	a := db.NewSession()
+	b := db.NewSession()
+
+	a.SetParallelism(1)
+	a.SetBatchSize(16)
+	a.SetLimits(Limits{MaxRowsMaterialized: 10})
+	a.SetSGBAlgorithm(core.AllPairs)
+
+	// b and the DB defaults are untouched by a's setters.
+	if got := b.Settings(); got.Parallelism != 0 || got.BatchSize != 0 ||
+		got.Limits.MaxRowsMaterialized != 0 || got.SGBAlgorithm != core.IndexBounds {
+		t.Fatalf("session b settings contaminated by a: %+v", got)
+	}
+	if got := db.Parallelism(); got == 1 && db.BatchSize() == 16 {
+		t.Fatalf("DB defaults contaminated by session setters")
+	}
+	if db.Limits().MaxRowsMaterialized != 0 {
+		t.Fatalf("DB limits contaminated by session setters: %+v", db.Limits())
+	}
+
+	// a's row limit applies to a only: the table has 100 rows.
+	if _, err := a.Exec("SELECT id FROM pts"); err == nil {
+		t.Fatalf("session a: want row-limit error, got nil")
+	} else {
+		var rle *ResourceLimitError
+		if !errors.As(err, &rle) {
+			t.Fatalf("session a: want ResourceLimitError, got %v", err)
+		}
+	}
+	if res, err := b.Exec("SELECT id FROM pts"); err != nil {
+		t.Fatalf("session b: %v", err)
+	} else if len(res.Rows) != 100 {
+		t.Fatalf("session b: got %d rows, want 100", len(res.Rows))
+	}
+	// The DB default path is equally unaffected.
+	if res, err := db.Exec("SELECT id FROM pts"); err != nil {
+		t.Fatalf("db default: %v", err)
+	} else if len(res.Rows) != 100 {
+		t.Fatalf("db default: got %d rows, want 100", len(res.Rows))
+	}
+}
+
+// TestSessionSettingsResolvedAtPlanTime pins that a statement's execution
+// shape comes from its own session snapshot: a serial session and a parallel
+// session produce different EXPLAIN plans against the same DB, concurrently.
+func TestSessionSettingsResolvedAtPlanTime(t *testing.T) {
+	db := NewDB()
+	loadSessionTable(t, db, 4096)
+
+	serial := db.NewSession()
+	serial.SetParallelism(1)
+	par := db.NewSession()
+	par.SetParallelism(4)
+	par.SetBatchSize(64)
+
+	const q = "EXPLAIN SELECT x, count(*) FROM pts GROUP BY x"
+	planOf := func(s *Session) string {
+		res, err := s.Exec(q)
+		if err != nil {
+			t.Fatalf("explain: %v", err)
+		}
+		var sb strings.Builder
+		for _, r := range res.Rows {
+			sb.WriteString(r[0].S)
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+	if p := planOf(serial); strings.Contains(p, "Parallel") {
+		t.Fatalf("serial session produced a parallel plan:\n%s", p)
+	}
+	if p := planOf(par); !strings.Contains(p, "Parallel") {
+		t.Fatalf("parallel session produced a serial plan:\n%s", p)
+	}
+}
+
+// TestSessionSettingsRace runs two sessions that continuously flip their own
+// knobs while executing, under -race: per-session snapshots mean neither the
+// knob writes nor the in-flight statements may conflict.
+func TestSessionSettingsRace(t *testing.T) {
+	db := NewDB()
+	loadSessionTable(t, db, 512)
+
+	const iters = 40
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := db.NewSession()
+			for i := 0; i < iters; i++ {
+				s.SetParallelism(1 + (w+i)%4)
+				s.SetBatchSize(32 << (i % 3))
+				if i%2 == 0 {
+					s.SetSGBAlgorithm(core.AllPairs)
+				} else {
+					s.SetSGBAlgorithm(core.IndexBounds)
+				}
+				res, err := s.Exec("SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 0.5")
+				if err != nil {
+					t.Errorf("worker %d iter %d: %v", w, i, err)
+					return
+				}
+				if len(res.Rows) == 0 {
+					t.Errorf("worker %d iter %d: empty result", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

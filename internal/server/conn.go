@@ -1,0 +1,388 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sgb/internal/core"
+	"sgb/internal/engine"
+	"sgb/internal/obs"
+	"sgb/internal/wire"
+)
+
+// handshakeTimeout bounds how long a fresh connection may take to send its
+// Hello; it keeps half-open sockets from pinning connection slots.
+const handshakeTimeout = 10 * time.Second
+
+// conn is one client connection: a counting socket, an engine session, and
+// the goroutine plumbing that lets Cancel frames arrive mid-query.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	br   *bufio.Reader
+	sess *engine.Session
+
+	// ctx is the connection's force-close signal: canceling it aborts the
+	// in-flight statement and terminates the session loop.
+	ctx    context.Context
+	cancel context.CancelFunc
+	// drain asks the session loop to exit at the next statement boundary
+	// (graceful shutdown); closed at most once by beginDrain.
+	drain     chan struct{}
+	drainOnce sync.Once
+	// in carries frames from the reader goroutine; done stops the reader
+	// when the session loop exits first.
+	in   chan readResult
+	done chan struct{}
+}
+
+type readResult struct {
+	msg wire.Message
+	err error
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	m := s.db.Metrics()
+	cc := &countingConn{
+		Conn: nc,
+		in:   m.Counter("server_bytes_in_total"),
+		out:  m.Counter("server_bytes_out_total"),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &conn{
+		srv:    s,
+		nc:     cc,
+		br:     bufio.NewReader(cc),
+		sess:   s.db.NewSession(),
+		ctx:    ctx,
+		cancel: cancel,
+		drain:  make(chan struct{}),
+		in:     make(chan readResult),
+		done:   make(chan struct{}),
+	}
+	return c
+}
+
+// beginDrain asks the session to finish its current statement and close.
+func (c *conn) beginDrain() {
+	c.drainOnce.Do(func() { close(c.drain) })
+}
+
+// forceClose aborts the in-flight statement and tears the socket down.
+func (c *conn) forceClose() {
+	c.cancel()
+	c.nc.Close()
+}
+
+// serve runs the connection to completion: handshake, then the
+// request/response loop. It owns the socket and closes it on exit.
+func (c *conn) serve() {
+	defer c.nc.Close()
+	defer c.cancel()
+	defer close(c.done)
+
+	if err := c.handshake(); err != nil {
+		return
+	}
+	go c.readLoop()
+
+	for {
+		c.setIdleDeadline()
+		select {
+		case <-c.ctx.Done():
+			return
+		case <-c.drain:
+			c.writeMsg(&wire.Error{Code: wire.CodeShuttingDown, Message: "server is shutting down"})
+			return
+		case rr := <-c.in:
+			if rr.err != nil {
+				return
+			}
+			c.clearDeadline()
+			if !c.dispatch(rr.msg) {
+				return
+			}
+		}
+	}
+}
+
+// handshake performs the Hello/Welcome version exchange under its own
+// deadline. The reader goroutine is not running yet; serve reads directly.
+func (c *conn) handshake() error {
+	c.nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	defer c.nc.SetReadDeadline(time.Time{})
+	msg, err := wire.ReadMessage(c.br)
+	if err != nil {
+		return err
+	}
+	hello, ok := msg.(*wire.Hello)
+	if !ok {
+		c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("expected Hello, got %T", msg)})
+		return errors.New("server: bad handshake")
+	}
+	if hello.Version != wire.Version {
+		c.writeMsg(&wire.Error{Code: wire.CodeVersionMismatch,
+			Message: fmt.Sprintf("client speaks protocol %d, server speaks %d", hello.Version, wire.Version)})
+		return errors.New("server: version mismatch")
+	}
+	return c.writeMsg(&wire.Welcome{Version: wire.Version, Server: c.srv.cfg.ServerName})
+}
+
+// readLoop feeds decoded frames to the session loop until the connection
+// errors or the session loop exits.
+func (c *conn) readLoop() {
+	for {
+		msg, err := wire.ReadMessage(c.br)
+		select {
+		case c.in <- readResult{msg, err}:
+			if err != nil {
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// setIdleDeadline arms the between-statements idle timer (a read deadline on
+// the socket, which interrupts the reader goroutine's pending Read).
+func (c *conn) setIdleDeadline() {
+	if t := c.srv.cfg.IdleTimeout; t > 0 {
+		c.nc.SetReadDeadline(time.Now().Add(t))
+	}
+}
+
+// clearDeadline disarms the idle timer while a statement runs — a long query
+// is activity, and Cancel frames must be readable indefinitely.
+func (c *conn) clearDeadline() {
+	if c.srv.cfg.IdleTimeout > 0 {
+		c.nc.SetReadDeadline(time.Time{})
+	}
+}
+
+// dispatch handles one idle-state frame; false terminates the connection.
+func (c *conn) dispatch(msg wire.Message) bool {
+	switch m := msg.(type) {
+	case *wire.Query:
+		return c.runQuery(m.SQL)
+	case *wire.Set:
+		return c.applySetting(m)
+	case *wire.Ping:
+		return c.writeMsg(&wire.Pong{}) == nil
+	case *wire.Stats:
+		var sb strings.Builder
+		if err := c.srv.db.Metrics().WritePrometheus(&sb); err != nil {
+			return c.writeMsg(&wire.Error{Code: wire.CodeInternal, Message: err.Error()}) == nil
+		}
+		return c.writeMsg(&wire.StatsText{Text: sb.String()}) == nil
+	case *wire.Cancel:
+		// Nothing in flight; a late Cancel for a query that already
+		// finished is legal and ignored.
+		return true
+	case *wire.Close:
+		return false
+	default:
+		c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("unexpected %T", msg)})
+		return false
+	}
+}
+
+// runQuery executes one statement on the session while concurrently watching
+// the wire for Cancel. It reports false when the connection must close.
+func (c *conn) runQuery(sql string) bool {
+	qctx, qcancel := context.WithCancel(c.ctx)
+	defer qcancel()
+
+	active := c.srv.db.Metrics().Gauge("server_sessions_active")
+	active.Add(1)
+	defer active.Add(-1)
+
+	type execResult struct {
+		res *engine.Result
+		err error
+	}
+	resCh := make(chan execResult, 1)
+	go func() {
+		res, err := c.sess.ExecContext(qctx, sql)
+		resCh <- execResult{res, err}
+	}()
+
+	connFatal := false
+	for {
+		select {
+		case r := <-resCh:
+			if r.err != nil {
+				return !connFatal && c.writeQueryError(r.err) == nil
+			}
+			return !connFatal && c.streamResult(r.res) == nil
+		case <-c.ctx.Done():
+			// Force shutdown: the query context is already canceled; wait
+			// for the executor goroutine, then drop the connection.
+			<-resCh
+			return false
+		case rr := <-c.in:
+			if rr.err != nil {
+				// Client went away mid-query: abort the statement, reap the
+				// executor goroutine, close.
+				qcancel()
+				<-resCh
+				return false
+			}
+			switch rr.msg.(type) {
+			case *wire.Cancel:
+				qcancel()
+			case *wire.Ping:
+				if c.writeMsg(&wire.Pong{}) != nil {
+					qcancel()
+					connFatal = true
+				}
+			case *wire.Close:
+				qcancel()
+				<-resCh
+				return false
+			default:
+				qcancel()
+				<-resCh
+				c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+					Message: fmt.Sprintf("unexpected %T during query", rr.msg)})
+				return false
+			}
+		}
+	}
+}
+
+// streamResult sends a completed statement result: RowHeader (when the
+// statement produces columns), RowBatch frames at the session's batch size,
+// then Done. This is where the wire maps onto the engine's batch layer — the
+// same row granularity the vectorized executor uses internally.
+func (c *conn) streamResult(res *engine.Result) error {
+	if len(res.Columns) > 0 {
+		if err := c.writeMsg(&wire.RowHeader{Columns: res.Columns}); err != nil {
+			return err
+		}
+		batch := c.sess.Settings().BatchSize
+		if batch <= 0 {
+			batch = engine.DefaultBatchSize()
+		}
+		for off := 0; off < len(res.Rows); off += batch {
+			end := off + batch
+			if end > len(res.Rows) {
+				end = len(res.Rows)
+			}
+			if err := c.writeMsg(&wire.RowBatch{Rows: res.Rows[off:end]}); err != nil {
+				return err
+			}
+		}
+	}
+	return c.writeMsg(&wire.Done{
+		RowsAffected: int64(res.RowsAffected),
+		RowCount:     int64(len(res.Rows)),
+	})
+}
+
+// writeQueryError maps an engine failure onto a typed wire error. The
+// connection survives query errors; only write failures are fatal.
+func (c *conn) writeQueryError(err error) error {
+	code := wire.CodeQuery
+	var rle *engine.ResourceLimitError
+	switch {
+	case errors.As(err, &rle):
+		code = wire.CodeResourceLimit
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		code = wire.CodeCanceled
+	}
+	return c.writeMsg(&wire.Error{Code: code, Message: err.Error()})
+}
+
+// applySetting maps a Set frame onto the connection's engine session.
+func (c *conn) applySetting(m *wire.Set) bool {
+	fail := func(format string, args ...any) bool {
+		return c.writeMsg(&wire.Error{Code: wire.CodeUnknownSetting,
+			Message: fmt.Sprintf(format, args...)}) == nil
+	}
+	switch m.Name {
+	case "sgb_algorithm":
+		alg, ok := parseAlgorithm(m.Value)
+		if !ok {
+			return fail("unknown SGB algorithm %q (want allpairs|bounds|index)", m.Value)
+		}
+		c.sess.SetSGBAlgorithm(alg)
+	case "parallelism":
+		n, err := strconv.Atoi(m.Value)
+		if err != nil || n < 0 {
+			return fail("bad parallelism %q", m.Value)
+		}
+		c.sess.SetParallelism(n)
+	case "batch_size":
+		n, err := strconv.Atoi(m.Value)
+		if err != nil || n < 0 {
+			return fail("bad batch_size %q", m.Value)
+		}
+		c.sess.SetBatchSize(n)
+	case "max_rows":
+		n, err := strconv.ParseInt(m.Value, 10, 64)
+		if err != nil || n < 0 {
+			return fail("bad max_rows %q", m.Value)
+		}
+		lim := c.sess.Settings().Limits
+		lim.MaxRowsMaterialized = n
+		c.sess.SetLimits(lim)
+	case "max_time":
+		d, err := time.ParseDuration(m.Value)
+		if (err != nil && m.Value != "0") || d < 0 {
+			return fail("bad max_time %q (want a duration like 2s, or 0)", m.Value)
+		}
+		lim := c.sess.Settings().Limits
+		lim.MaxExecutionTime = d
+		c.sess.SetLimits(lim)
+	default:
+		return fail("unknown setting %q", m.Name)
+	}
+	return c.writeMsg(&wire.Done{}) == nil
+}
+
+// writeMsg sends one frame. Frame writes are serialized by the session loop
+// (the only writer), so no extra locking is needed here.
+func (c *conn) writeMsg(m wire.Message) error {
+	return wire.WriteMessage(c.nc, m)
+}
+
+// parseAlgorithm maps the wire spelling onto the core enum.
+func parseAlgorithm(s string) (core.Algorithm, bool) {
+	switch s {
+	case "allpairs":
+		return core.AllPairs, true
+	case "bounds":
+		return core.BoundsChecking, true
+	case "index":
+		return core.IndexBounds, true
+	}
+	return 0, false
+}
+
+// countingConn counts every socket byte into the server traffic metrics.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
+}

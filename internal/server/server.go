@@ -1,0 +1,193 @@
+// Package server is sgbd's serving layer: a TCP listener speaking the
+// internal/wire protocol, with one session goroutine per connection layered
+// over a shared engine.DB.
+//
+// Each connection gets its own engine.Session, so the execution knobs a
+// client adjusts over the wire (SGB algorithm, parallelism, batch size,
+// resource limits) are scoped to that connection and resolved at plan time —
+// two clients can never race each other's settings. Statements execute under
+// a per-query context wired into engine.ExecContext, so a wire Cancel frame
+// aborts an in-flight query promptly while the connection stays usable.
+//
+// The server enforces a connection limit and an idle timeout, exports
+// server_* metrics through the engine's obs registry, and drains gracefully:
+// Shutdown stops accepting, lets in-flight statements finish (bounded by the
+// caller's context), then force-closes whatever remains.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sgb/internal/engine"
+	"sgb/internal/wire"
+)
+
+// Config tunes a Server. The zero value listens on a random localhost port
+// with no connection limit and no idle timeout.
+type Config struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// MaxConns caps concurrently open connections; 0 means unlimited.
+	// Connections over the limit are rejected with CodeTooManyConnections.
+	MaxConns int
+	// IdleTimeout closes connections with no client activity between
+	// statements; 0 disables. The timer never fires mid-query.
+	IdleTimeout time.Duration
+	// ServerName is the identification string in the Welcome handshake.
+	// Empty means "sgbd".
+	ServerName string
+}
+
+// Server is a running sgbd listener. Create with New, start with Start.
+type Server struct {
+	cfg Config
+	db  *engine.DB
+	ln  net.Listener
+
+	mu       sync.Mutex
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // accept loop + one goroutine per connection
+}
+
+// New prepares a server over db. The db's metrics registry gains the
+// server_* series.
+func New(db *engine.DB, cfg Config) *Server {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.ServerName == "" {
+		cfg.ServerName = "sgbd"
+	}
+	return &Server{cfg: cfg, db: db, conns: make(map[*conn]struct{})}
+}
+
+// DB returns the shared database the server serves.
+func (s *Server) DB() *engine.DB { return s.db }
+
+// Start binds the listen address and begins accepting connections in a
+// background goroutine. It returns once the listener is bound, so Addr is
+// valid immediately after.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	// Pre-register the server metric series so a scrape before the first
+	// connection still sees them at zero.
+	m := s.db.Metrics()
+	m.Gauge("server_connections_open")
+	m.Counter("server_connections_total")
+	m.Gauge("server_sessions_active")
+	m.Counter("server_bytes_in_total")
+	m.Counter("server_bytes_out_total")
+
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			// Listener closed: shutdown.
+			return
+		}
+		s.admit(nc)
+	}
+}
+
+// admit applies the drain state and connection limit, then hands the
+// connection to its session goroutine.
+func (s *Server) admit(nc net.Conn) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		rejectConn(nc, wire.CodeShuttingDown, "server is shutting down")
+		return
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		s.db.Metrics().Counter("server_connections_rejected_total").Inc()
+		rejectConn(nc, wire.CodeTooManyConnections,
+			fmt.Sprintf("connection limit (%d) reached", s.cfg.MaxConns))
+		return
+	}
+	c := newConn(s, nc)
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+
+	m := s.db.Metrics()
+	m.Counter("server_connections_total").Inc()
+	m.Gauge("server_connections_open").Add(1)
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		c.serve()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		m.Gauge("server_connections_open").Add(-1)
+	}()
+}
+
+// rejectConn sends a terminal error frame on a connection that never gets a
+// session, then closes it. Best effort with a short deadline: a stalled peer
+// must not wedge the accept loop's goroutine.
+func rejectConn(nc net.Conn, code uint16, msg string) {
+	nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	_ = wire.WriteMessage(nc, &wire.Error{Code: code, Message: msg})
+	nc.Close()
+}
+
+// Shutdown drains the server: it stops accepting, closes idle connections,
+// and lets in-flight statements finish. When ctx expires first, remaining
+// statements are canceled and their connections force-closed. Shutdown
+// returns once every session goroutine has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+	// Grace period over: abort in-flight queries and close the sockets.
+	for _, c := range conns {
+		c.forceClose()
+	}
+	<-done
+	return ctx.Err()
+}

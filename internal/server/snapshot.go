@@ -1,0 +1,45 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sgb/internal/engine"
+)
+
+// LoadSnapshotFile restores a database from a snapshot file written by
+// SaveSnapshotFile (or sgbcli's \save). It is how sgbd -snapshot brings a
+// persisted catalog back up at boot.
+func LoadSnapshotFile(path string) (*engine.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	db, err := engine.Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: snapshot %s: %w", path, err)
+	}
+	return db, nil
+}
+
+// SaveSnapshotFile writes the database to path atomically: the snapshot is
+// staged in a temp file in the same directory and renamed into place, so a
+// crash mid-save never corrupts the previous snapshot.
+func SaveSnapshotFile(db *engine.DB, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	err = db.Save(tmp)
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("server: saving snapshot %s: %w", path, err)
+	}
+	return os.Rename(tmp.Name(), path)
+}

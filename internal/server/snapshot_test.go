@@ -1,0 +1,151 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sgb/internal/core"
+	"sgb/internal/engine"
+)
+
+// TestSnapshotRoundTrip covers the full sgbd -snapshot save/load cycle:
+// tables with data, secondary indexes, and the SGB algorithm selection must
+// all survive, and a loaded server must answer queries (including
+// index-assisted and SGB ones) identically to the original.
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := engine.NewDB()
+	db.SetSGBAlgorithm(core.BoundsChecking)
+	mustExecSQL(t, db, "CREATE TABLE pts (id INT, x FLOAT, y FLOAT, tag TEXT)")
+	mustExecSQL(t, db, `INSERT INTO pts VALUES
+		(1, 0.5, 0.5, 'a'), (2, 1.0, 1.25, 'a'), (3, 9.0, 9.5, 'b'),
+		(4, 9.25, 9.75, 'b'), (5, 50.0, 50.0, 'c')`)
+	mustExecSQL(t, db, "CREATE TABLE empty_t (n INT)")
+	mustExecSQL(t, db, "CREATE INDEX pts_tag ON pts (tag)")
+
+	path := filepath.Join(t.TempDir(), "snap.sgb")
+	if err := SaveSnapshotFile(db, path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	loaded, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+
+	if got := loaded.SGBAlgorithm(); got != core.BoundsChecking {
+		t.Errorf("SGB algorithm not restored: got %v", got)
+	}
+	if names := loaded.Catalog().Names(); len(names) != 2 {
+		t.Errorf("catalog names = %v, want 2 tables", names)
+	}
+	tab, err := loaded.Catalog().Get("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Indexes) != 1 || tab.Indexes[0].Name != "pts_tag" {
+		t.Errorf("index not restored: %+v", tab.Indexes)
+	}
+
+	// Queries over the restored DB match the original, including one the
+	// restored index serves and one through the restored SGB algorithm.
+	for _, q := range []string{
+		"SELECT id FROM pts WHERE tag = 'b' ORDER BY id",
+		"SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 2 ON-OVERLAP FORM-NEW-GROUP ORDER BY count(*)",
+	} {
+		want, err := db.Exec(q)
+		if err != nil {
+			t.Fatalf("original %q: %v", q, err)
+		}
+		got, err := loaded.Exec(q)
+		if err != nil {
+			t.Fatalf("restored %q: %v", q, err)
+		}
+		sameResult(t, q, got, want)
+	}
+}
+
+// TestSnapshotCorruptedFile pins the error path: truncated and garbage
+// snapshot files must fail loudly at load, not produce an empty database.
+func TestSnapshotCorruptedFile(t *testing.T) {
+	db := engine.NewDB()
+	mustExecSQL(t, db, "CREATE TABLE t (n INT)")
+	mustExecSQL(t, db, "INSERT INTO t VALUES (1), (2), (3)")
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.sgb")
+	if err := SaveSnapshotFile(db, path); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc := filepath.Join(dir, "trunc.sgb")
+		if err := os.WriteFile(trunc, raw[:len(raw)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshotFile(trunc); err == nil {
+			t.Fatal("truncated snapshot loaded without error")
+		} else if !strings.Contains(err.Error(), "snapshot") {
+			t.Errorf("error does not identify the snapshot: %v", err)
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		garbage := filepath.Join(dir, "garbage.sgb")
+		if err := os.WriteFile(garbage, []byte("this is not a gob stream at all"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadSnapshotFile(garbage); err == nil {
+			t.Fatal("garbage snapshot loaded without error")
+		}
+	})
+	t.Run("missing", func(t *testing.T) {
+		if _, err := LoadSnapshotFile(filepath.Join(dir, "nope.sgb")); !os.IsNotExist(err) {
+			t.Errorf("want IsNotExist, got %v", err)
+		}
+	})
+}
+
+// TestSnapshotSaveAtomic checks a failed save cannot clobber the previous
+// snapshot: saving over an existing file goes through a temp file + rename.
+func TestSnapshotSaveAtomic(t *testing.T) {
+	db := engine.NewDB()
+	mustExecSQL(t, db, "CREATE TABLE t (n INT)")
+	path := filepath.Join(t.TempDir(), "snap.sgb")
+	if err := SaveSnapshotFile(db, path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second save; the temp file must not linger.
+	mustExecSQL(t, db, "INSERT INTO t VALUES (42)")
+	if err := SaveSnapshotFile(db, path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("stray files after save: %v", entries)
+	}
+	loaded, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := loaded.Exec("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("second save not visible after load: %v", res.Rows)
+	}
+}
+
+func mustExecSQL(t *testing.T, db *engine.DB, sql string) {
+	t.Helper()
+	if _, err := db.Exec(sql); err != nil {
+		t.Fatalf("exec: %v", err)
+	}
+}

@@ -1,0 +1,481 @@
+// Package wire defines sgbd's client/server protocol: a length-prefixed
+// binary framing with a small fixed message set.
+//
+// Every frame is
+//
+//	[1 byte message type][4 bytes big-endian payload length][payload]
+//
+// The connection opens with a version handshake (Hello → Welcome or Error),
+// after which the client drives a simple request/response conversation. The
+// one deliberate asymmetry is Cancel: the client may send it while a Query is
+// still streaming, and the server aborts the in-flight statement — which is
+// why server sessions read frames concurrently with query execution.
+//
+// Result rows stream as typed RowBatch frames whose batch granularity is the
+// session's engine batch size, so the wire layer reuses the executor's
+// batched row representation instead of inventing its own. Values carry the
+// engine's type tags; the encoding round-trips engine.Value exactly
+// (including the NaN bit patterns the float encoding preserves).
+//
+// Protocol versioning: Version is a single monotonically increasing integer.
+// A server refuses a Hello whose version it does not speak with
+// CodeVersionMismatch, naming its own version in the error message; there is
+// no negotiation. Additive changes (new message types, new Set keys) that old
+// peers can safely ignore do not bump the version; changes to existing frame
+// layouts do.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"sgb/internal/engine"
+)
+
+// Version is the protocol version this package speaks. See the package
+// comment for the compatibility policy.
+const Version = 1
+
+// Magic opens every Hello payload, so a server can reject a stray HTTP or
+// MySQL client with a protocol error instead of a confusing decode failure.
+const Magic = "SGBW"
+
+// MaxFrame caps a single frame's payload size. Row batches are chunked well
+// below this by the sender; the bound exists so a corrupt or hostile length
+// prefix cannot make a peer allocate gigabytes.
+const MaxFrame = 16 << 20
+
+// Message type bytes. Client-originated types have the high bit clear,
+// server-originated types have it set.
+const (
+	TypeHello  byte = 0x01 // client: magic, protocol version
+	TypeQuery  byte = 0x02 // client: one SQL statement
+	TypeSet    byte = 0x03 // client: session setting name/value
+	TypePing   byte = 0x04 // client: liveness probe
+	TypeCancel byte = 0x05 // client: abort the in-flight query
+	TypeStats  byte = 0x06 // client: request the server metrics snapshot
+	TypeClose  byte = 0x07 // client: graceful goodbye
+
+	TypeWelcome   byte = 0x81 // server: handshake accepted
+	TypeRowHeader byte = 0x82 // server: result column names
+	TypeRowBatch  byte = 0x83 // server: one batch of result rows
+	TypeDone      byte = 0x84 // server: statement/settings op completed
+	TypeError     byte = 0x85 // server: typed failure
+	TypePong      byte = 0x86 // server: ping reply
+	TypeStatsText byte = 0x87 // server: Prometheus text metrics
+)
+
+// Error codes carried by the Error message.
+const (
+	// CodeInternal is an unclassified server-side failure.
+	CodeInternal uint16 = 1
+	// CodeQuery is a statement failure: parse error, unknown table, type
+	// error — anything the engine rejects.
+	CodeQuery uint16 = 2
+	// CodeCanceled reports that the statement was aborted by a Cancel frame
+	// (or the server shutting down mid-query).
+	CodeCanceled uint16 = 3
+	// CodeResourceLimit reports a typed engine.ResourceLimitError: the
+	// statement exceeded the session's row or time budget.
+	CodeResourceLimit uint16 = 4
+	// CodeProtocol is a framing or message-sequence violation.
+	CodeProtocol uint16 = 5
+	// CodeTooManyConnections means the server is at its connection limit.
+	CodeTooManyConnections uint16 = 6
+	// CodeShuttingDown means the server is draining and takes no new work.
+	CodeShuttingDown uint16 = 7
+	// CodeUnknownSetting rejects a Set with an unrecognized name or an
+	// unparseable value.
+	CodeUnknownSetting uint16 = 8
+	// CodeVersionMismatch rejects a Hello whose protocol version the server
+	// does not speak.
+	CodeVersionMismatch uint16 = 9
+)
+
+// Message is one protocol frame, decoded.
+type Message interface {
+	// wireType is the frame's type byte.
+	wireType() byte
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	// Version is the protocol version the client speaks.
+	Version uint32
+}
+
+// Welcome accepts the handshake.
+type Welcome struct {
+	// Version is the protocol version the server speaks.
+	Version uint32
+	// Server is a human-readable server identification string.
+	Server string
+}
+
+// Query submits one SQL statement.
+type Query struct {
+	SQL string
+}
+
+// Set changes one session-scoped setting. Names and value syntax are defined
+// by the server (see internal/server: sgb_algorithm, parallelism, batch_size,
+// max_rows, max_time).
+type Set struct {
+	Name, Value string
+}
+
+// Ping probes liveness; the server answers Pong.
+type Ping struct{}
+
+// Pong answers Ping.
+type Pong struct{}
+
+// Cancel aborts the connection's in-flight query, if any. It is the only
+// client frame legal while a query is streaming.
+type Cancel struct{}
+
+// Stats requests the server's metrics registry; answered by StatsText.
+type Stats struct{}
+
+// StatsText carries the metrics registry in Prometheus text format.
+type StatsText struct {
+	Text string
+}
+
+// Close announces a graceful disconnect.
+type Close struct{}
+
+// RowHeader opens a streamed result: the output column names, in order.
+// A statement with no result columns (DDL/DML) skips straight to Done.
+type RowHeader struct {
+	Columns []string
+}
+
+// RowBatch carries a batch of result rows. A result may span any number of
+// RowBatch frames (including zero), terminated by Done.
+type RowBatch struct {
+	Rows []engine.Row
+}
+
+// Done terminates a successful statement (after zero or more RowBatch
+// frames) and acknowledges Set.
+type Done struct {
+	// RowsAffected counts rows touched by DML.
+	RowsAffected int64
+	// RowCount is the total number of result rows streamed.
+	RowCount int64
+}
+
+// Error terminates a failed request.
+type Error struct {
+	Code    uint16
+	Message string
+}
+
+// Error renders the server failure as a Go error string.
+func (e *Error) Error() string {
+	return fmt.Sprintf("server error (code %d): %s", e.Code, e.Message)
+}
+
+func (*Hello) wireType() byte     { return TypeHello }
+func (*Welcome) wireType() byte   { return TypeWelcome }
+func (*Query) wireType() byte     { return TypeQuery }
+func (*Set) wireType() byte       { return TypeSet }
+func (*Ping) wireType() byte      { return TypePing }
+func (*Pong) wireType() byte      { return TypePong }
+func (*Cancel) wireType() byte    { return TypeCancel }
+func (*Stats) wireType() byte     { return TypeStats }
+func (*StatsText) wireType() byte { return TypeStatsText }
+func (*Close) wireType() byte     { return TypeClose }
+func (*RowHeader) wireType() byte { return TypeRowHeader }
+func (*RowBatch) wireType() byte  { return TypeRowBatch }
+func (*Done) wireType() byte      { return TypeDone }
+func (*Error) wireType() byte     { return TypeError }
+
+// ErrFrameTooLarge is returned when a frame's length prefix exceeds
+// MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// errShort is the shared truncated-payload decode error.
+var errShort = errors.New("wire: truncated payload")
+
+// WriteMessage encodes m as one frame on w.
+func WriteMessage(w io.Writer, m Message) error {
+	payload, err := appendPayload(nil, m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	hdr := make([]byte, 5, 5+len(payload))
+	hdr[0] = m.wireType()
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	_, err = w.Write(append(hdr, payload...))
+	return err
+}
+
+// ReadMessage decodes the next frame from r. It returns io.EOF only on a
+// clean boundary (no partial frame read); a frame truncated mid-way surfaces
+// as io.ErrUnexpectedEOF.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return decodePayload(hdr[0], payload)
+}
+
+// appendPayload encodes m's payload (everything after the frame header).
+func appendPayload(b []byte, m Message) ([]byte, error) {
+	switch m := m.(type) {
+	case *Hello:
+		b = append(b, Magic...)
+		b = appendUint32(b, m.Version)
+	case *Welcome:
+		b = appendUint32(b, m.Version)
+		b = appendString(b, m.Server)
+	case *Query:
+		b = appendString(b, m.SQL)
+	case *Set:
+		b = appendString(b, m.Name)
+		b = appendString(b, m.Value)
+	case *Ping, *Pong, *Cancel, *Stats, *Close:
+		// no payload
+	case *StatsText:
+		b = appendString(b, m.Text)
+	case *RowHeader:
+		b = appendUint32(b, uint32(len(m.Columns)))
+		for _, c := range m.Columns {
+			b = appendString(b, c)
+		}
+	case *RowBatch:
+		b = appendUint32(b, uint32(len(m.Rows)))
+		for _, row := range m.Rows {
+			b = appendUint32(b, uint32(len(row)))
+			for _, v := range row {
+				b = appendValue(b, v)
+			}
+		}
+	case *Done:
+		b = appendUint64(b, uint64(m.RowsAffected))
+		b = appendUint64(b, uint64(m.RowCount))
+	case *Error:
+		b = append(b, byte(m.Code>>8), byte(m.Code))
+		b = appendString(b, m.Message)
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T", m)
+	}
+	return b, nil
+}
+
+// decodePayload decodes one frame payload into its message.
+func decodePayload(typ byte, b []byte) (Message, error) {
+	d := &decoder{b: b}
+	var m Message
+	switch typ {
+	case TypeHello:
+		magic := d.bytes(4)
+		v := d.uint32()
+		if d.err == nil && string(magic) != Magic {
+			return nil, fmt.Errorf("wire: bad magic %q", magic)
+		}
+		m = &Hello{Version: v}
+	case TypeWelcome:
+		m = &Welcome{Version: d.uint32(), Server: d.string()}
+	case TypeQuery:
+		m = &Query{SQL: d.string()}
+	case TypeSet:
+		m = &Set{Name: d.string(), Value: d.string()}
+	case TypePing:
+		m = &Ping{}
+	case TypePong:
+		m = &Pong{}
+	case TypeCancel:
+		m = &Cancel{}
+	case TypeStats:
+		m = &Stats{}
+	case TypeStatsText:
+		m = &StatsText{Text: d.string()}
+	case TypeClose:
+		m = &Close{}
+	case TypeRowHeader:
+		n := d.count()
+		cols := make([]string, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			cols = append(cols, d.string())
+		}
+		m = &RowHeader{Columns: cols}
+	case TypeRowBatch:
+		n := d.count()
+		rows := make([]engine.Row, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			w := d.count()
+			row := make(engine.Row, 0, w)
+			for j := 0; j < w && d.err == nil; j++ {
+				row = append(row, d.value())
+			}
+			rows = append(rows, row)
+		}
+		m = &RowBatch{Rows: rows}
+	case TypeDone:
+		m = &Done{RowsAffected: int64(d.uint64()), RowCount: int64(d.uint64())}
+	case TypeError:
+		code := d.bytes(2)
+		msg := d.string()
+		if d.err == nil {
+			m = &Error{Code: uint16(code[0])<<8 | uint16(code[1]), Message: msg}
+		}
+	default:
+		return nil, fmt.Errorf("wire: unknown message type 0x%02x", typ)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != d.off {
+		return nil, fmt.Errorf("wire: %d trailing bytes after message type 0x%02x", len(d.b)-d.off, typ)
+	}
+	return m, nil
+}
+
+// --- primitive encoding ---
+
+func appendUint32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendValue encodes one typed engine value: a type tag byte followed by a
+// fixed- or length-prefixed payload. Floats ship as raw IEEE bits, so every
+// bit pattern (±0, NaN payloads) round-trips and the server's results stay
+// bit-identical to embedded execution.
+func appendValue(b []byte, v engine.Value) []byte {
+	b = append(b, byte(v.T))
+	switch v.T {
+	case engine.TypeNull:
+	case engine.TypeInt:
+		b = appendUint64(b, uint64(v.I))
+	case engine.TypeFloat:
+		b = appendUint64(b, math.Float64bits(v.F))
+	case engine.TypeString:
+		b = appendString(b, v.S)
+	case engine.TypeBool:
+		if v.B {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	return b
+}
+
+// decoder is a cursor over a frame payload; the first error sticks.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.err = errShort
+		return nil
+	}
+	out := d.b[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.bytes(4)
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) uint64() uint64 {
+	b := d.bytes(8)
+	if d.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// count reads a uint32 element count and sanity-bounds it against the bytes
+// actually remaining, so a corrupt count cannot pre-allocate gigabytes.
+func (d *decoder) count() int {
+	n := d.uint32()
+	if d.err == nil && int(n) > len(d.b)-d.off {
+		d.err = errShort
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) string() string {
+	n := d.count()
+	b := d.bytes(n)
+	if d.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) value() engine.Value {
+	tb := d.bytes(1)
+	if d.err != nil {
+		return engine.Null
+	}
+	switch t := engine.Type(tb[0]); t {
+	case engine.TypeNull:
+		return engine.Null
+	case engine.TypeInt:
+		return engine.NewInt(int64(d.uint64()))
+	case engine.TypeFloat:
+		return engine.NewFloat(math.Float64frombits(d.uint64()))
+	case engine.TypeString:
+		return engine.NewString(d.string())
+	case engine.TypeBool:
+		b := d.bytes(1)
+		if d.err != nil {
+			return engine.Null
+		}
+		return engine.NewBool(b[0] != 0)
+	default:
+		d.err = fmt.Errorf("wire: unknown value type 0x%02x", tb[0])
+		return engine.Null
+	}
+}
