@@ -1,15 +1,22 @@
 // Command sgbd is the similarity group-by database server: it serves a
 // shared engine.DB over the internal/wire TCP protocol and exports
-// Prometheus metrics over HTTP.
+// Prometheus metrics plus health probes over HTTP.
 //
 //	sgbd -addr 127.0.0.1:7433 -metrics-addr 127.0.0.1:9433 \
-//	     -snapshot data.sgb -max-conns 100 -idle-timeout 5m
+//	     -data-dir /var/lib/sgbd -fsync always -checkpoint-interval 1m \
+//	     -max-conns 100 -idle-timeout 5m
 //
 // Flags:
 //
 //	-addr            TCP listen address for the wire protocol
-//	-metrics-addr    HTTP listen address for /metrics ("" disables)
-//	-snapshot FILE   load FILE at boot when it exists; save back on shutdown
+//	-metrics-addr    HTTP listen address for /metrics, /healthz, /readyz ("" disables)
+//	-data-dir DIR    durable mode: write-ahead log + checkpoints in DIR;
+//	                 recovery replays the log tail at boot
+//	-fsync POLICY    WAL fsync policy: always | interval | never
+//	-fsync-interval D  flush period when -fsync interval
+//	-checkpoint-interval D  background snapshot+log-trim period (0 disables)
+//	-snapshot FILE   legacy non-durable mode: load FILE at boot when it
+//	                 exists; save back on graceful shutdown only
 //	-max-conns N     reject connections beyond N concurrently open (0 = off)
 //	-idle-timeout D  close connections idle between statements for D (0 = off)
 //	-parallel N      default session worker count (0 = auto/GOMAXPROCS)
@@ -19,11 +26,18 @@
 //	-alg NAME        default SGB algorithm: allpairs | bounds | index
 //	-drain-timeout D grace period for in-flight statements on shutdown
 //
-// Per-connection sessions inherit these defaults and may override them with
-// wire Set messages (sgbcli -connect maps \parallel, \batch, \limits, \alg
-// onto those). SIGINT/SIGTERM drain gracefully: the listener closes, in-
-// flight statements get -drain-timeout to finish, then the snapshot (if
-// configured) is saved.
+// With -data-dir, every committed DML/DDL statement is appended to the WAL
+// before it is acknowledged on the wire (under -fsync always, a kill -9 or
+// power loss after the acknowledgement loses nothing), and boot recovers by
+// loading the latest checkpoint then replaying the log tail. The HTTP
+// /readyz endpoint answers 503 until that recovery completes and 503 again
+// while draining; /healthz answers 200 whenever the process is up.
+//
+// Per-connection sessions inherit the flag defaults and may override them
+// with wire Set messages (sgbcli -connect maps \parallel, \batch, \limits,
+// \alg onto those). SIGINT/SIGTERM drain gracefully: the listener closes,
+// in-flight statements get -drain-timeout to finish, then a final checkpoint
+// (or the legacy snapshot) is saved.
 //
 // sgbd prints "listening on <addr>" and "metrics on http://<addr>/metrics"
 // to stdout once ready, so scripts using ":0" ports can scrape the actual
@@ -43,14 +57,20 @@ import (
 
 	"sgb/internal/core"
 	"sgb/internal/engine"
+	"sgb/internal/obs"
 	"sgb/internal/server"
+	"sgb/internal/wal"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:7433", "wire protocol listen address")
-		metricsAddr  = flag.String("metrics-addr", "127.0.0.1:9433", "HTTP /metrics listen address (empty disables)")
-		snapshot     = flag.String("snapshot", "", "snapshot file: loaded at boot if present, saved on shutdown")
+		metricsAddr  = flag.String("metrics-addr", "127.0.0.1:9433", "HTTP /metrics,/healthz,/readyz listen address (empty disables)")
+		dataDir      = flag.String("data-dir", "", "durable data directory (WAL + checkpoints); empty = not durable")
+		fsyncPolicy  = flag.String("fsync", "always", "WAL fsync policy: always|interval|never")
+		fsyncEvery   = flag.Duration("fsync-interval", 100*time.Millisecond, "flush period with -fsync interval")
+		ckptEvery    = flag.Duration("checkpoint-interval", time.Minute, "background checkpoint period (0 disables)")
+		snapshot     = flag.String("snapshot", "", "legacy snapshot file: loaded at boot if present, saved on graceful shutdown (not crash-safe; prefer -data-dir)")
 		maxConns     = flag.Int("max-conns", 0, "max concurrently open connections (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections idle between statements this long (0 = never)")
 		parallel     = flag.Int("parallel", 0, "default session parallelism (0 = auto)")
@@ -61,22 +81,104 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight statements on shutdown")
 	)
 	flag.Parse()
-	if err := run(*addr, *metricsAddr, *snapshot, *maxConns, *idleTimeout,
-		*parallel, *batch, *maxRows, *maxTime, *alg, *drainTimeout); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, metricsAddr: *metricsAddr,
+		dataDir: *dataDir, fsync: *fsyncPolicy, fsyncInterval: *fsyncEvery,
+		checkpointInterval: *ckptEvery, snapshot: *snapshot,
+		maxConns: *maxConns, idleTimeout: *idleTimeout,
+		parallel: *parallel, batch: *batch, maxRows: *maxRows, maxTime: *maxTime,
+		alg: *alg, drainTimeout: *drainTimeout,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, metricsAddr, snapshot string, maxConns int, idleTimeout time.Duration,
-	parallel, batch int, maxRows int64, maxTime time.Duration, alg string,
-	drainTimeout time.Duration) error {
+type daemonConfig struct {
+	addr, metricsAddr  string
+	dataDir            string
+	fsync              string
+	fsyncInterval      time.Duration
+	checkpointInterval time.Duration
+	snapshot           string
+	maxConns           int
+	idleTimeout        time.Duration
+	parallel, batch    int
+	maxRows            int64
+	maxTime            time.Duration
+	alg                string
+	drainTimeout       time.Duration
+}
 
-	db, err := openDB(snapshot)
-	if err != nil {
-		return err
+func run(cfg daemonConfig) error {
+	if cfg.dataDir != "" && cfg.snapshot != "" {
+		return fmt.Errorf("-data-dir and -snapshot are mutually exclusive")
 	}
-	switch alg {
+
+	// The HTTP side comes up before recovery so /healthz answers immediately
+	// and /readyz honestly reports 503 while the WAL tail replays.
+	reg := obs.NewRegistry()
+	health := server.NewHealth()
+	var metricsSrv *http.Server
+	if cfg.metricsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", cfg.metricsAddr, err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+		health.Register(mux)
+		metricsSrv = &http.Server{Handler: mux}
+		go func() { _ = metricsSrv.Serve(ln) }()
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	// Boot the database: durable store, legacy snapshot, or ephemeral.
+	var (
+		db    *engine.DB
+		store *server.Store
+	)
+	switch {
+	case cfg.dataDir != "":
+		policy, err := wal.ParseSyncPolicy(cfg.fsync)
+		if err != nil {
+			return err
+		}
+		store, err = server.OpenStore(server.StoreOptions{
+			Dir:                cfg.dataDir,
+			Policy:             policy,
+			SyncInterval:       cfg.fsyncInterval,
+			CheckpointInterval: cfg.checkpointInterval,
+			Metrics:            reg,
+		})
+		if err != nil {
+			return err
+		}
+		db = store.DB()
+		fmt.Printf("recovered data dir %s (%d tables, %d wal records replayed, fsync %s)\n",
+			cfg.dataDir, len(db.Catalog().Names()), store.ReplayedRecords(), policy)
+	case cfg.snapshot != "":
+		var err error
+		db, err = server.LoadSnapshotFile(cfg.snapshot)
+		if os.IsNotExist(err) {
+			fmt.Printf("snapshot %s not found, starting empty\n", cfg.snapshot)
+			db = engine.NewDB()
+		} else if err != nil {
+			return err
+		} else {
+			fmt.Printf("loaded snapshot %s (%d tables)\n", cfg.snapshot, len(db.Catalog().Names()))
+		}
+		db.SetMetrics(reg)
+	default:
+		db = engine.NewDB()
+		db.SetMetrics(reg)
+	}
+
+	switch cfg.alg {
 	case "allpairs":
 		db.SetSGBAlgorithm(core.AllPairs)
 	case "bounds":
@@ -84,46 +186,32 @@ func run(addr, metricsAddr, snapshot string, maxConns int, idleTimeout time.Dura
 	case "index":
 		db.SetSGBAlgorithm(core.IndexBounds)
 	default:
-		return fmt.Errorf("unknown -alg %q (want allpairs|bounds|index)", alg)
+		return fmt.Errorf("unknown -alg %q (want allpairs|bounds|index)", cfg.alg)
 	}
-	db.SetParallelism(parallel)
-	db.SetBatchSize(batch)
-	db.SetLimits(engine.Limits{MaxRowsMaterialized: maxRows, MaxExecutionTime: maxTime})
+	db.SetParallelism(cfg.parallel)
+	db.SetBatchSize(cfg.batch)
+	db.SetLimits(engine.Limits{MaxRowsMaterialized: cfg.maxRows, MaxExecutionTime: cfg.maxTime})
 
 	srv := server.New(db, server.Config{
-		Addr:        addr,
-		MaxConns:    maxConns,
-		IdleTimeout: idleTimeout,
+		Addr:        cfg.addr,
+		MaxConns:    cfg.maxConns,
+		IdleTimeout: cfg.idleTimeout,
 	})
 	if err := srv.Start(); err != nil {
 		return err
 	}
 	fmt.Printf("listening on %s\n", srv.Addr())
-
-	var metricsSrv *http.Server
-	if metricsAddr != "" {
-		ln, err := net.Listen("tcp", metricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listen %s: %w", metricsAddr, err)
-		}
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			_ = db.Metrics().WritePrometheus(w)
-		})
-		metricsSrv = &http.Server{Handler: mux}
-		go func() { _ = metricsSrv.Serve(ln) }()
-		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
-	}
+	health.SetReady(true)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight
 	// statements for drainTimeout, then force-cancels what remains.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigCh
-	fmt.Printf("received %s, draining (grace %v)\n", sig, drainTimeout)
+	health.SetReady(false)
+	fmt.Printf("received %s, draining (grace %v)\n", sig, cfg.drainTimeout)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbd: drain incomplete:", err)
@@ -131,29 +219,17 @@ func run(addr, metricsAddr, snapshot string, maxConns int, idleTimeout time.Dura
 	if metricsSrv != nil {
 		_ = metricsSrv.Shutdown(context.Background())
 	}
-	if snapshot != "" {
-		if err := server.SaveSnapshotFile(db, snapshot); err != nil {
+	switch {
+	case store != nil:
+		if err := store.Close(); err != nil {
+			return fmt.Errorf("closing data dir: %w", err)
+		}
+		fmt.Printf("final checkpoint written to %s\n", cfg.dataDir)
+	case cfg.snapshot != "":
+		if err := server.SaveSnapshotFile(db, cfg.snapshot); err != nil {
 			return err
 		}
-		fmt.Printf("snapshot saved to %s\n", snapshot)
+		fmt.Printf("snapshot saved to %s\n", cfg.snapshot)
 	}
 	return nil
-}
-
-// openDB boots the database: from the snapshot file when one is configured
-// and present, empty otherwise.
-func openDB(snapshot string) (*engine.DB, error) {
-	if snapshot == "" {
-		return engine.NewDB(), nil
-	}
-	db, err := server.LoadSnapshotFile(snapshot)
-	if os.IsNotExist(err) {
-		fmt.Printf("snapshot %s not found, starting empty\n", snapshot)
-		return engine.NewDB(), nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	fmt.Printf("loaded snapshot %s (%d tables)\n", snapshot, len(db.Catalog().Names()))
-	return db, nil
 }

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -30,6 +31,26 @@ import (
 // ServerError is a typed failure reported by the server. Use the wire.Code*
 // constants to classify it.
 type ServerError = wire.Error
+
+// ErrConnClosed reports an operation on a connection that was closed locally
+// (Close was called). It is a transport-level condition, distinct from query
+// errors (*ServerError) — callers can retry it on a fresh connection.
+var ErrConnClosed = errors.New("client: connection closed")
+
+// Options tunes ConnectContext. The zero value means a single attempt.
+type Options struct {
+	// MaxRetries is how many additional connection attempts follow a failed
+	// dial or handshake (so MaxRetries = 2 means up to 3 attempts). Retries
+	// apply to transport failures and to the server's transient rejections
+	// (CodeTooManyConnections, CodeShuttingDown); protocol-level failures
+	// such as a version mismatch fail immediately.
+	MaxRetries int
+	// BaseDelay is the first retry's backoff; it doubles per attempt with
+	// jitter. 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means 2s.
+	MaxDelay time.Duration
+}
 
 // Conn is one client connection to an sgbd server.
 type Conn struct {
@@ -52,38 +73,89 @@ func Connect(addr string) (*Conn, error) {
 	return ConnectContext(context.Background(), addr)
 }
 
-// ConnectContext is Connect bounded by ctx (dial and handshake).
-func ConnectContext(ctx context.Context, addr string) (*Conn, error) {
+// ConnectContext is Connect bounded by ctx (dial and handshake). An optional
+// Options enables retry with exponential backoff and jitter on dial or
+// handshake failure.
+func ConnectContext(ctx context.Context, addr string, opts ...Options) (*Conn, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 50 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		var c *Conn
+		c, err = dialAndHandshake(ctx, addr)
+		if err == nil {
+			return c, nil
+		}
+		if attempt >= o.MaxRetries || ctx.Err() != nil || !retryable(err) {
+			return nil, err
+		}
+		// Exponential backoff with jitter: half the window fixed, half
+		// random, so a thundering herd of reconnecting clients spreads out.
+		delay := o.BaseDelay << attempt
+		if delay > o.MaxDelay || delay <= 0 {
+			delay = o.MaxDelay
+		}
+		sleep := delay/2 + rand.N(delay/2+1)
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// retryable classifies a connect failure: transport errors and the server's
+// transient rejections are worth another attempt; protocol-level refusals
+// (version mismatch, bad handshake) will fail the same way every time.
+func retryable(err error) bool {
+	var se *ServerError
+	if errors.As(err, &se) {
+		return se.Code == wire.CodeTooManyConnections || se.Code == wire.CodeShuttingDown
+	}
+	return true
+}
+
+// dialAndHandshake performs one connection attempt. Every failure path
+// closes the socket — the deferred cleanup is the single place that decides,
+// so no early return can leak the net.Conn.
+func dialAndHandshake(ctx context.Context, addr string) (c *Conn, err error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Conn{nc: nc}
+	defer func() {
+		if err != nil {
+			nc.Close()
+		}
+	}()
 	if deadline, ok := ctx.Deadline(); ok {
 		nc.SetDeadline(deadline)
 	} else {
 		nc.SetDeadline(time.Now().Add(10 * time.Second))
 	}
-	defer nc.SetDeadline(time.Time{})
 	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.Version}); err != nil {
-		nc.Close()
-		return nil, err
+		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	msg, err := wire.ReadMessage(nc)
 	if err != nil {
-		nc.Close()
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	switch m := msg.(type) {
 	case *wire.Welcome:
-		c.server = m.Server
-		return c, nil
+		nc.SetDeadline(time.Time{})
+		return &Conn{nc: nc, server: m.Server}, nil
 	case *wire.Error:
-		nc.Close()
 		return nil, m
 	default:
-		nc.Close()
 		return nil, fmt.Errorf("client: handshake: unexpected %T", msg)
 	}
 }
@@ -110,7 +182,7 @@ func (c *Conn) writeMsg(m wire.Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if c.closed {
-		return net.ErrClosed
+		return ErrConnClosed
 	}
 	return wire.WriteMessage(c.nc, m)
 }

@@ -42,6 +42,11 @@ type DB struct {
 
 	metrics atomic.Pointer[obs.Registry]
 
+	// commitHook, when set, is invoked for every successfully applied
+	// mutating statement while the exclusive statement lock is still held —
+	// the engine's durability seam. See SetCommitHook.
+	commitHook atomic.Pointer[CommitHook]
+
 	// lastSGBStats holds the cost counters of the most recent SGB operator
 	// execution, when the last statement contained one.
 	lastSGBStats *core.Stats
@@ -72,6 +77,43 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		db.metrics.Store(reg)
 	}
 }
+
+// CommitHook is the durability seam: it runs after a mutating statement
+// (DDL/DML) has applied successfully, while the exclusive statement lock is
+// still held, and before the statement is reported successful to the caller.
+// A write-ahead log hooks here to make the statement durable; a non-nil
+// error fails the statement with a *DurabilityError, so it is never
+// acknowledged without its log record.
+//
+// sql is the statement's original text when it entered through ExecContext /
+// Session.ExecContext, and "" for pre-parsed statements (ExecStmtContext),
+// which a logging hook may refuse. The hook must not re-enter the DB.
+type CommitHook func(stmt Statement, sql string) error
+
+// SetCommitHook installs hook (nil removes it). It is normally wired once at
+// boot, after recovery replay, so replayed statements are not re-logged.
+func (db *DB) SetCommitHook(hook CommitHook) {
+	if hook == nil {
+		db.commitHook.Store(nil)
+		return
+	}
+	db.commitHook.Store(&hook)
+}
+
+// DurabilityError reports that a statement applied in memory but its commit
+// hook (the write-ahead log) failed, so durability is not guaranteed and the
+// statement was not acknowledged. The in-process state may be ahead of the
+// durable state; the serving layer treats this as fatal for subsequent
+// writes.
+type DurabilityError struct {
+	Err error
+}
+
+func (e *DurabilityError) Error() string {
+	return fmt.Sprintf("engine: commit not durable: %v", e.Err)
+}
+
+func (e *DurabilityError) Unwrap() error { return e.Err }
 
 // LastTrace returns the span trace (parse/plan/execute) of the most recent
 // statement, or nil before the first one.
@@ -226,7 +268,7 @@ func (db *DB) execSQL(ctx context.Context, sql string, set Settings) (*Result, e
 		db.Metrics().Counter("engine_parse_errors_total").Inc()
 		return nil, err
 	}
-	return db.execTraced(ctx, stmt, tr, set)
+	return db.execTraced(ctx, stmt, tr, set, sql)
 }
 
 // ExecStmt executes an already parsed statement.
@@ -237,7 +279,7 @@ func (db *DB) ExecStmt(stmt Statement) (*Result, error) {
 // ExecStmtContext executes an already parsed statement under a context, with
 // the same cancellation semantics as ExecContext.
 func (db *DB) ExecStmtContext(ctx context.Context, stmt Statement) (*Result, error) {
-	return db.execTraced(ctx, stmt, obs.NewTrace(), db.settings())
+	return db.execTraced(ctx, stmt, obs.NewTrace(), db.settings(), "")
 }
 
 // isReadOnly reports whether stmt cannot mutate the catalog or table data,
@@ -256,8 +298,10 @@ func isReadOnly(stmt Statement) bool {
 // folds the outcome into the metrics registry and the session state. set is
 // the caller's settings snapshot — the statement's whole execution shape
 // (algorithm, limits, parallelism, batch size) is fixed here, at plan time,
-// so concurrent sessions adjusting their own knobs cannot affect it.
-func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set Settings) (*Result, error) {
+// so concurrent sessions adjusting their own knobs cannot affect it. sql is
+// the statement's original text ("" for pre-parsed statements), handed to
+// the commit hook for write-ahead logging.
+func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set Settings, sql string) (*Result, error) {
 	m := db.Metrics()
 	m.Counter("engine_statements_total").Inc()
 
@@ -286,6 +330,17 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set
 		} else {
 			db.mu.Lock()
 			res, err = db.execStmt(stmt, tr, qc)
+			// Durability seam: the statement has applied; log it before it
+			// can be acknowledged, while the exclusive lock still serializes
+			// the commit order against other writers and checkpoints.
+			if err == nil {
+				if hp := db.commitHook.Load(); hp != nil {
+					if herr := (*hp)(stmt, sql); herr != nil {
+						m.Counter("engine_commit_hook_failures_total").Inc()
+						err = &DurabilityError{Err: herr}
+					}
+				}
+			}
 			db.mu.Unlock()
 		}
 	}

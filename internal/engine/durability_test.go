@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestCommitHookFiresForWrites pins the hook contract: every successful
+// mutating statement reaches the hook with its SQL text, in commit order;
+// read-only statements never do.
+func TestCommitHookFiresForWrites(t *testing.T) {
+	db := NewDB()
+	type call struct {
+		sql  string
+		kind string
+	}
+	var calls []call
+	db.SetCommitHook(func(stmt Statement, sql string) error {
+		calls = append(calls, call{sql: sql, kind: fmt.Sprintf("%T", stmt)})
+		return nil
+	})
+
+	stmts := []string{
+		"CREATE TABLE t (id INT, x FLOAT)",
+		"INSERT INTO t VALUES (1, 1.5), (2, 2.5)",
+		"UPDATE t SET x = 9.0 WHERE id = 1",
+		"DELETE FROM t WHERE id = 2",
+		"CREATE INDEX idx ON t (id)",
+		"DROP INDEX idx ON t",
+		"DROP TABLE t",
+	}
+	for _, sql := range stmts {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	if len(calls) != len(stmts) {
+		t.Fatalf("hook saw %d calls, want %d: %+v", len(calls), len(stmts), calls)
+	}
+	for i, sql := range stmts {
+		if calls[i].sql != sql {
+			t.Errorf("call %d: sql %q, want %q", i, calls[i].sql, sql)
+		}
+	}
+
+	// Read-only statements bypass the hook entirely.
+	calls = nil
+	if _, err := db.Exec("CREATE TABLE r (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO r VALUES (7)"); err != nil {
+		t.Fatal(err)
+	}
+	calls = nil
+	for _, sql := range []string{"SELECT x FROM r", "EXPLAIN SELECT x FROM r"} {
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	if len(calls) != 0 {
+		t.Fatalf("hook fired for read-only statements: %+v", calls)
+	}
+}
+
+// TestCommitHookSkippedOnFailure: a statement that fails never reaches the
+// hook — nothing un-applied may be logged.
+func TestCommitHookSkippedOnFailure(t *testing.T) {
+	db := NewDB()
+	hooked := 0
+	db.SetCommitHook(func(Statement, string) error { hooked++; return nil })
+	if _, err := db.Exec("INSERT INTO missing VALUES (1)"); err == nil {
+		t.Fatal("insert into missing table succeeded")
+	}
+	if hooked != 0 {
+		t.Fatalf("hook fired %d times for a failed statement", hooked)
+	}
+}
+
+// TestCommitHookFailureSurfaces: when the hook (the WAL) fails, the
+// statement reports a typed DurabilityError and is not acknowledged.
+func TestCommitHookFailureSurfaces(t *testing.T) {
+	db := NewDB()
+	boom := errors.New("disk full")
+	db.SetCommitHook(func(Statement, string) error { return boom })
+	_, err := db.Exec("CREATE TABLE t (x INT)")
+	var de *DurabilityError
+	if !errors.As(err, &de) || !errors.Is(err, boom) {
+		t.Fatalf("got %v, want DurabilityError wrapping boom", err)
+	}
+	if got := db.Metrics().Counter("engine_commit_hook_failures_total").Value(); got != 1 {
+		t.Fatalf("engine_commit_hook_failures_total = %d", got)
+	}
+	// Removing the hook restores plain execution.
+	db.SetCommitHook(nil)
+	if _, err := db.Exec("CREATE TABLE t2 (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitHookSessionPath: statements entering through a Session carry
+// their SQL text to the hook too (the server's path).
+func TestCommitHookSessionPath(t *testing.T) {
+	db := NewDB()
+	var got []string
+	db.SetCommitHook(func(_ Statement, sql string) error { got = append(got, sql); return nil })
+	sess := db.NewSession()
+	if _, err := sess.Exec("CREATE TABLE s (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "CREATE TABLE s (x INT)" {
+		t.Fatalf("session hook calls: %q", got)
+	}
+
+	// Pre-parsed statements have no SQL text: the hook sees "".
+	stmt, err := Parse("INSERT INTO s VALUES (3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if _, err := db.ExecStmt(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "" {
+		t.Fatalf("ExecStmt hook calls: %q", got)
+	}
+}
+
+// TestSaveLockedConsistency: the SaveLocked callback observes a position
+// consistent with the snapshot — a concurrent writer cannot commit between
+// the snapshot read and the callback.
+func TestSaveLockedConsistency(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	commits := 0
+	db.SetCommitHook(func(Statement, string) error { commits++; return nil })
+	for i := 0; i < 5; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	var seen int
+	if err := db.SaveLocked(&buf, func() { seen = commits }); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 5 {
+		t.Fatalf("callback saw %d commits, want 5", seen)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := restored.Query("SELECT count(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 5 {
+		t.Fatalf("restored rows: %+v", res.Rows)
+	}
+}

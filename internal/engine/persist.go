@@ -34,9 +34,19 @@ const snapshotVersion = 1
 
 // Save writes a snapshot of the database to w. It takes the statement lock in
 // read mode, so it sees a consistent catalog even with queries in flight.
-func (db *DB) Save(w io.Writer) error {
+func (db *DB) Save(w io.Writer) error { return db.SaveLocked(w, nil) }
+
+// SaveLocked is Save with a callback invoked while the statement lock is
+// held in read mode. Commit hooks run under the exclusive lock, so any state
+// the callback captures (in particular the WAL position) is exactly
+// consistent with the snapshot — this is how the checkpointer records which
+// log prefix a snapshot covers.
+func (db *DB) SaveLocked(w io.Writer, locked func()) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if locked != nil {
+		locked()
+	}
 	snap := snapshot{Version: snapshotVersion, SGBAlg: uint8(db.SGBAlgorithm())}
 	for _, name := range db.cat.Names() {
 		t, err := db.cat.Get(name)

@@ -110,5 +110,5 @@ func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) 
 // ExecStmtContext executes an already parsed statement under the session's
 // settings.
 func (s *Session) ExecStmtContext(ctx context.Context, stmt Statement) (*Result, error) {
-	return s.db.execTraced(ctx, stmt, obs.NewTrace(), s.Settings())
+	return s.db.execTraced(ctx, stmt, obs.NewTrace(), s.Settings(), "")
 }

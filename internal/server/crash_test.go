@@ -1,0 +1,206 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"sgb/internal/client"
+)
+
+// sgbdProc is one running sgbd child process.
+type sgbdProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *bufio.Scanner
+}
+
+// buildSgbd compiles the daemon once per test binary.
+var buildSgbd = sync.OnceValues(func() (string, error) {
+	bin := "/tmp/sgbd-crash-test"
+	out, err := exec.Command("go", "build", "-o", bin, "sgb/cmd/sgbd").CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build sgbd: %v\n%s", err, out)
+	}
+	return bin, nil
+})
+
+// startSgbd launches sgbd on a random port over dataDir and waits for the
+// listen address.
+func startSgbd(t *testing.T, dataDir string, extra ...string) *sgbdProc {
+	t.Helper()
+	bin, err := buildSgbd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-metrics-addr", "",
+		"-data-dir", dataDir, "-fsync", "always",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &sgbdProc{cmd: cmd, out: bufio.NewScanner(stdout)}
+	deadline := time.After(30 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		for p.out.Scan() {
+			line := p.out.Text()
+			if a, ok := strings.CutPrefix(line, "listening on "); ok {
+				got <- a
+				break
+			}
+		}
+		close(got)
+	}()
+	select {
+	case a, ok := <-got:
+		if !ok {
+			cmd.Process.Kill()
+			t.Fatal("sgbd exited before listening")
+		}
+		p.addr = a
+	case <-deadline:
+		cmd.Process.Kill()
+		t.Fatal("sgbd never printed its listen address")
+	}
+	// Keep draining output so the child never blocks on a full pipe.
+	go func() { io.Copy(io.Discard, stdout) }()
+	return p
+}
+
+// TestCrashRecoveryKill9 is the acceptance crash test: a real sgbd process
+// with -fsync always is SIGKILLed in the middle of concurrent client ingest.
+// After restart, every client-acknowledged statement must be present, no
+// half-applied statement may appear (statements insert 3 rows each, so the
+// recovered count must be a multiple of 3), and at most the per-connection
+// in-flight statement may additionally survive (durable but unacknowledged).
+func TestCrashRecoveryKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real sgbd process")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics")
+	}
+	dataDir := t.TempDir()
+	p := startSgbd(t, dataDir)
+	defer p.cmd.Process.Kill()
+
+	setup, err := client.Connect(p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec("CREATE TABLE ingest (id INT, x FLOAT, y FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	// Concurrent ingest: each worker owns a connection and an id range, and
+	// counts a statement only once the server acknowledged it.
+	const workers = 3
+	var (
+		acked   [workers]atomic.Int64
+		killAt  = int64(25) // total acks before pulling the trigger
+		killREQ = make(chan struct{})
+		killed  = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	var totalAcks atomic.Int64
+	var killOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := client.Connect(p.addr)
+			if err != nil {
+				t.Errorf("worker %d connect: %v", w, err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; ; i++ {
+				base := w*1_000_000 + i*3
+				sql := fmt.Sprintf("INSERT INTO ingest VALUES (%d, %d.5, 1.0), (%d, %d.5, 2.0), (%d, %d.5, 3.0)",
+					base, base, base+1, base, base+2, base)
+				if _, err := conn.Exec(sql); err != nil {
+					return // the crash: connection is gone
+				}
+				acked[w].Add(1)
+				if totalAcks.Add(1) == killAt {
+					killOnce.Do(func() { close(killREQ) })
+				}
+			}
+		}(w)
+	}
+
+	go func() {
+		<-killREQ
+		// Ingest is in full flight: kill -9, no drain, no checkpoint.
+		p.cmd.Process.Signal(syscall.SIGKILL)
+		p.cmd.Wait()
+		close(killed)
+	}()
+	wg.Wait()
+	select {
+	case <-killed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("sgbd never died after SIGKILL")
+	}
+
+	var ackedTotal int64
+	for w := range acked {
+		ackedTotal += acked[w].Load()
+	}
+	if ackedTotal < killAt {
+		t.Fatalf("only %d statements acknowledged before the crash", ackedTotal)
+	}
+
+	// Restart on the same data dir: recovery = checkpoint + WAL replay.
+	p2 := startSgbd(t, dataDir)
+	defer func() {
+		p2.cmd.Process.Signal(syscall.SIGTERM)
+		p2.cmd.Wait()
+	}()
+	conn, err := client.Connect(p2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	res, err := conn.Query(context.Background(), "SELECT count(*) FROM ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows[0][0].I
+
+	if rows%3 != 0 {
+		t.Errorf("recovered %d rows: not a multiple of 3 — a half-applied statement survived", rows)
+	}
+	stmts := rows / 3
+	if stmts < ackedTotal {
+		t.Errorf("lost acknowledged statements: recovered %d, acknowledged %d", stmts, ackedTotal)
+	}
+	// Each connection has at most one unacknowledged statement in flight.
+	if stmts > ackedTotal+workers {
+		t.Errorf("recovered %d statements, acknowledged only %d (+%d in-flight max)",
+			stmts, ackedTotal, workers)
+	}
+
+	// The recovered server keeps accepting durable writes.
+	if _, err := conn.Exec("INSERT INTO ingest VALUES (-1, 0.0, 0.0), (-2, 0.0, 0.0), (-3, 0.0, 0.0)"); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}

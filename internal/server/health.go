@@ -1,0 +1,48 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Health tracks process liveness vs serving readiness for sgbd's HTTP
+// endpoints:
+//
+//   - /healthz answers 200 whenever the process is up — a liveness probe.
+//   - /readyz answers 503 until recovery (checkpoint load + WAL replay)
+//     completes and the wire listener is accepting, and 503 again once the
+//     server begins draining — a readiness probe that takes the instance out
+//     of a load balancer before shutdown and during boot-time replay.
+//
+// The zero value is not ready. All methods are safe for concurrent use.
+type Health struct {
+	ready atomic.Bool
+}
+
+// NewHealth returns a not-yet-ready Health.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady flips the readiness state (true once serving, false on drain).
+func (h *Health) SetReady(ready bool) { h.ready.Store(ready) }
+
+// Ready reports the current readiness state.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// Register installs the /healthz and /readyz handlers on mux.
+func (h *Health) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if h.Ready() {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ready\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte("not ready\n"))
+	})
+}

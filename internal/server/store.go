@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sgb/internal/engine"
+	"sgb/internal/obs"
+	"sgb/internal/wal"
+)
+
+// checkpointFile is the snapshot the WAL tail replays on top of. Its header
+// records the WAL sequence number the snapshot covers, CRC-protected like the
+// log itself:
+//
+//	[8 bytes magic "SGBCKPT1"][8 bytes covered seq][4 bytes CRC32C of body][gob snapshot body]
+const (
+	checkpointFile  = "checkpoint.sgb"
+	checkpointMagic = "SGBCKPT1"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// StoreOptions configures a durable Store.
+type StoreOptions struct {
+	// Dir is the data directory (created if missing): checkpoint.sgb plus
+	// wal-*.log segments.
+	Dir string
+	// Policy is the WAL fsync policy; the zero value is wal.SyncAlways.
+	Policy wal.SyncPolicy
+	// SyncInterval is the flush period under wal.SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointInterval is the background checkpoint period; 0 disables the
+	// background checkpointer (Checkpoint can still be called, and Close
+	// always writes a final one).
+	CheckpointInterval time.Duration
+	// Metrics, when non-nil, replaces the recovered DB's registry before
+	// replay so the wal_*/checkpoint_* series land in the server's registry.
+	Metrics *obs.Registry
+	// FS substitutes the filesystem (fault-injection tests); nil = real.
+	FS wal.FS
+}
+
+// Store is a crash-durable engine.DB: a checkpoint snapshot plus a
+// write-ahead log, wired into the engine's commit path. Open it with
+// OpenStore; every acknowledged DML/DDL statement is appended (and, under
+// SyncAlways, fsynced) to the log before the engine reports it successful,
+// and recovery replays the log tail over the latest checkpoint.
+type Store struct {
+	opts StoreOptions
+	db   *engine.DB
+	log  *wal.Log
+	fs   wal.FS
+
+	// ckptMu serializes checkpoints (background timer vs Close vs manual).
+	ckptMu   sync.Mutex
+	replayed int
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenStore recovers the database in opts.Dir — load the checkpoint if one
+// exists, replay the WAL tail (truncating a torn final record), then open
+// the log for appending and install the engine commit hook. The returned
+// store is serving-ready.
+func OpenStore(opts StoreOptions) (*Store, error) {
+	if opts.FS == nil {
+		opts.FS = wal.OS
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{opts: opts, fs: opts.FS, stop: make(chan struct{})}
+
+	db, seq, err := s.loadCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	s.db = db
+	if opts.Metrics != nil {
+		db.SetMetrics(opts.Metrics)
+	}
+	m := db.Metrics()
+
+	// Replay the tail. The commit hook is not installed yet, so replayed
+	// statements are not re-appended to the log.
+	st, err := wal.Replay(s.fs, opts.Dir, seq, func(rec wal.Record) error {
+		if rec.Kind != wal.KindStatement {
+			return nil // unknown kinds are forward-compatible no-ops
+		}
+		if _, err := db.ExecContext(context.Background(), string(rec.Data)); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: wal recovery in %s: %w", opts.Dir, err)
+	}
+	s.replayed = st.Applied
+	m.Counter("wal_replayed_records_total").Add(int64(st.Applied))
+	if st.Truncated {
+		m.Counter("wal_truncations_total").Inc()
+	}
+
+	log, err := wal.Open(wal.Options{
+		Dir:      opts.Dir,
+		Policy:   opts.Policy,
+		Interval: opts.SyncInterval,
+		FS:       s.fs,
+		OnSync: func(d time.Duration) {
+			m.Histogram("wal_fsync_seconds", obs.DefBuckets).Observe(d.Seconds())
+		},
+	}, st.LastSeq)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening wal in %s: %w", opts.Dir, err)
+	}
+	s.log = log
+	s.updateSegmentGauge()
+
+	db.SetCommitHook(func(stmt engine.Statement, sql string) error {
+		if !loggedStatement(stmt) {
+			return nil
+		}
+		if sql == "" {
+			return errors.New("server: cannot log a pre-parsed statement; execute SQL text")
+		}
+		if _, err := s.log.Append(wal.KindStatement, []byte(sql)); err != nil {
+			return err
+		}
+		m.Counter("wal_appends_total").Inc()
+		m.Counter("wal_append_bytes_total").Add(int64(len(sql)))
+		return nil
+	})
+
+	if opts.CheckpointInterval > 0 {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
+	return s, nil
+}
+
+// loggedStatement reports whether stmt belongs in the WAL: the catalog- and
+// data-mutating statements. Views are session-scoped query definitions and
+// are not persisted (matching snapshots), so view DDL is not logged.
+func loggedStatement(stmt engine.Statement) bool {
+	switch stmt.(type) {
+	case *engine.InsertStmt, *engine.UpdateStmt, *engine.DeleteStmt, *engine.CopyStmt,
+		*engine.CreateTableStmt, *engine.DropTableStmt,
+		*engine.CreateIndexStmt, *engine.DropIndexStmt:
+		return true
+	}
+	return false
+}
+
+// DB returns the recovered database. Its commit hook is owned by the store;
+// do not replace it.
+func (s *Store) DB() *engine.DB { return s.db }
+
+// ReplayedRecords reports how many WAL records recovery applied at open.
+func (s *Store) ReplayedRecords() int { return s.replayed }
+
+// loadCheckpoint reads checkpoint.sgb if present. A missing file starts
+// empty; a corrupt one (bad magic or CRC — e.g. a torn write from a crash
+// during a pre-rename filesystem, which the atomic rename protocol should
+// prevent) is an error rather than silent data loss.
+func (s *Store) loadCheckpoint() (*engine.DB, uint64, error) {
+	path := filepath.Join(s.opts.Dir, checkpointFile)
+	f, err := s.fs.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return engine.NewDB(), 0, nil
+		}
+		return nil, 0, err
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < len(checkpointMagic)+12 || string(raw[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, 0, fmt.Errorf("server: checkpoint %s: bad header", path)
+	}
+	seq := binary.BigEndian.Uint64(raw[8:16])
+	wantCRC := binary.BigEndian.Uint32(raw[16:20])
+	body := raw[20:]
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return nil, 0, fmt.Errorf("server: checkpoint %s: checksum mismatch", path)
+	}
+	db, err := engine.Load(bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, fmt.Errorf("server: checkpoint %s: %w", path, err)
+	}
+	return db, seq, nil
+}
+
+// Checkpoint writes a snapshot covering every committed statement, durably
+// and atomically (temp file, fsync, rename, directory fsync), then rotates
+// the log and trims segments the snapshot covers — bounding recovery time.
+func (s *Store) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	m := s.db.Metrics()
+	start := time.Now()
+
+	// SaveLocked holds the statement lock in read mode, and commits append
+	// under the exclusive lock, so the captured seq is exactly the last
+	// statement inside the snapshot.
+	var buf bytes.Buffer
+	var seq uint64
+	if err := s.db.SaveLocked(&buf, func() { seq = s.log.LastSeq() }); err != nil {
+		m.Counter("checkpoint_failures_total").Inc()
+		return err
+	}
+
+	path := filepath.Join(s.opts.Dir, checkpointFile)
+	tmp := path + ".tmp"
+	if err := s.writeCheckpointFile(tmp, seq, buf.Bytes()); err != nil {
+		m.Counter("checkpoint_failures_total").Inc()
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		m.Counter("checkpoint_failures_total").Inc()
+		_ = s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.SyncDir(s.opts.Dir); err != nil {
+		m.Counter("checkpoint_failures_total").Inc()
+		return err
+	}
+
+	// The snapshot is durable: the log prefix it covers can be released.
+	if err := s.log.Rotate(); err != nil {
+		return err
+	}
+	if _, err := s.log.TrimBefore(seq); err != nil {
+		return err
+	}
+	s.updateSegmentGauge()
+	m.Counter("checkpoints_total").Inc()
+	m.Gauge("checkpoint_last_seq").Set(float64(seq))
+	m.Histogram("checkpoint_seconds", obs.DefBuckets).Observe(time.Since(start).Seconds())
+	return nil
+}
+
+// writeCheckpointFile writes and fsyncs one checkpoint image at path.
+func (s *Store) writeCheckpointFile(path string, seq uint64, body []byte) error {
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 20)
+	hdr = append(hdr, checkpointMagic...)
+	hdr = binary.BigEndian.AppendUint64(hdr, seq)
+	hdr = binary.BigEndian.AppendUint32(hdr, crc32.Checksum(body, crcTable))
+	_, err = f.Write(hdr)
+	if err == nil {
+		_, err = f.Write(body)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *Store) updateSegmentGauge() {
+	if n, err := s.log.SegmentCount(); err == nil {
+		s.db.Metrics().Gauge("wal_segments").Set(float64(n))
+	}
+}
+
+// checkpointLoop is the background checkpointer.
+func (s *Store) checkpointLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			// Failures are counted (checkpoint_failures_total) and retried
+			// next tick; the WAL still protects everything since the last
+			// successful checkpoint.
+			_ = s.Checkpoint()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Close stops the checkpointer, writes a final checkpoint (the graceful-
+// shutdown snapshot), and closes the log. Safe to call more than once.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+		s.db.SetCommitHook(nil)
+		err := s.Checkpoint()
+		if cerr := s.log.Close(); err == nil {
+			err = cerr
+		}
+		s.closeErr = err
+	})
+	return s.closeErr
+}

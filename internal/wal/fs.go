@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// FS is the filesystem surface the WAL writes through. Production code uses
+// OS (the real filesystem); tests substitute a FaultFS to inject write and
+// fsync failures at precise points — the fault-injection harness the crash
+// tests are built on.
+type FS interface {
+	// Create opens name for appending, creating it (and truncating any
+	// existing content — the WAL only creates segment names it owns).
+	Create(name string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Remove deletes name.
+	Remove(name string) error
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Truncate cuts name to size bytes. Replay uses it to discard a torn
+	// record tail.
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making created/renamed/removed
+	// entries durable.
+	SyncDir(dir string) error
+}
+
+// File is one open WAL file. Segments are written append-only and read
+// sequentially; Sync makes previous writes durable.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// OS is the real-filesystem FS used outside tests.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Remove(name string) error              { return os.Remove(name) }
+func (osFS) Rename(oldname, newname string) error  { return os.Rename(oldname, newname) }
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ErrInjected is the failure FaultFS injects.
+var ErrInjected = errors.New("wal: injected fault")
+
+// FaultFS wraps another FS and fails the Nth write or fsync call (counted
+// across all files opened through it), optionally completing half the buffer
+// first — a short write, the torn-record case a real crash produces. All
+// methods are safe for concurrent use.
+type FaultFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	writes     int
+	syncs      int
+	failWrite  int  // fail the Nth Write call; 0 = never
+	shortWrite bool // when failing a write, write the first half of the buffer
+	failSync   int  // fail the Nth Sync call; 0 = never
+}
+
+// NewFaultFS wraps inner with an initially fault-free shim.
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+
+// FailWriteAt arms the shim to fail the nth subsequent Write call (1 = the
+// very next one). When short is set, the failing write first writes half its
+// buffer, producing a torn record on disk.
+func (f *FaultFS) FailWriteAt(n int, short bool) {
+	f.mu.Lock()
+	f.failWrite, f.shortWrite = f.writes+n, short
+	f.mu.Unlock()
+}
+
+// FailSyncAt arms the shim to fail the nth subsequent Sync call.
+func (f *FaultFS) FailSyncAt(n int) {
+	f.mu.Lock()
+	f.failSync = f.syncs + n
+	f.mu.Unlock()
+}
+
+// Writes reports the total Write calls seen so far.
+func (f *FaultFS) Writes() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.writes
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error)            { return f.inner.Open(name) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error)      { return f.inner.ReadDir(dir) }
+func (f *FaultFS) Remove(name string) error                  { return f.inner.Remove(name) }
+func (f *FaultFS) Rename(oldname, newname string) error      { return f.inner.Rename(oldname, newname) }
+func (f *FaultFS) Truncate(name string, size int64) error    { return f.inner.Truncate(name, size) }
+func (f *FaultFS) SyncDir(dir string) error                  { return f.inner.SyncDir(dir) }
+
+// checkWrite advances the write counter and reports whether this call must
+// fail, and if so whether it should tear (short-write) first.
+func (f *FaultFS) checkWrite() (fail, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writes++
+	return f.failWrite != 0 && f.writes >= f.failWrite, f.shortWrite
+}
+
+func (f *FaultFS) checkSync() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncs++
+	return f.failSync != 0 && f.syncs >= f.failSync
+}
+
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fail, short := f.fs.checkWrite()
+	if !fail {
+		return f.File.Write(p)
+	}
+	if short && len(p) > 1 {
+		n, err := f.File.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, ErrInjected
+	}
+	return 0, ErrInjected
+}
+
+func (f *faultFile) Sync() error {
+	if f.fs.checkSync() {
+		return ErrInjected
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,150 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+)
+
+// ReplayStats reports what a Replay pass found and repaired.
+type ReplayStats struct {
+	// LastSeq is the highest valid sequence number in the log (0 if empty).
+	LastSeq uint64
+	// Applied counts records handed to the callback (seq > afterSeq).
+	Applied int
+	// Skipped counts valid records already covered by the checkpoint.
+	Skipped int
+	// Truncated is set when a torn or corrupt record was found; the segment
+	// was cut at the corruption point.
+	Truncated bool
+	// SegmentsRemoved counts segments dropped because they followed a
+	// corruption point (their records are unreachable once the sequence
+	// breaks).
+	SegmentsRemoved int
+}
+
+// ReplayError wraps a callback failure with the record that caused it.
+type ReplayError struct {
+	Seq uint64
+	Err error
+}
+
+func (e *ReplayError) Error() string {
+	return fmt.Sprintf("wal: replaying record %d: %v", e.Seq, e.Err)
+}
+
+func (e *ReplayError) Unwrap() error { return e.Err }
+
+// Replay scans the log in dir in sequence order, invoking fn for every valid
+// record with Seq > afterSeq (records at or below afterSeq are covered by the
+// checkpoint and skipped). fsys nil means the real filesystem.
+//
+// Crash consistency: the first torn or corrupt record — short frame, bad
+// CRC32C, oversized length, or a sequence-number break — is treated as the
+// unfinished append of the crash. The segment is truncated at that record's
+// start offset, any later segments are removed, and replay stops cleanly.
+// Replay is idempotent: running it again yields the same prefix.
+//
+// A callback error aborts replay immediately with a *ReplayError; the log is
+// left untouched, since the record itself was valid.
+func Replay(fsys FS, dir string, afterSeq uint64, fn func(Record) error) (ReplayStats, error) {
+	if fsys == nil {
+		fsys = OS
+	}
+	var st ReplayStats
+	segs, err := segments(fsys, dir)
+	if err != nil {
+		return st, err
+	}
+	for i, name := range segs {
+		path := filepath.Join(dir, name)
+		truncAt, err := replaySegment(fsys, path, afterSeq, &st, fn)
+		if err != nil {
+			return st, err
+		}
+		if truncAt >= 0 {
+			st.Truncated = true
+			if err := fsys.Truncate(path, truncAt); err != nil {
+				return st, fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
+			}
+			// Records after a break in the sequence cannot be applied
+			// consistently; drop the unreachable segments.
+			for _, later := range segs[i+1:] {
+				if err := fsys.Remove(filepath.Join(dir, later)); err != nil {
+					return st, err
+				}
+				st.SegmentsRemoved++
+			}
+			if err := fsys.SyncDir(dir); err != nil {
+				return st, err
+			}
+			break
+		}
+	}
+	return st, nil
+}
+
+// replaySegment scans one segment. It returns truncAt >= 0 when the segment
+// must be cut at that byte offset (torn/corrupt record), -1 when the segment
+// is clean. Callback errors surface as err.
+func replaySegment(fsys FS, path string, afterSeq uint64, st *ReplayStats, fn func(Record) error) (truncAt int64, err error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return -1, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		// Header never made it to disk (or is garbage): the whole segment is
+		// the torn tail.
+		return 0, nil
+	}
+	off := int64(len(segMagic))
+
+	hdr := make([]byte, recHdrSize)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return -1, nil // clean end of segment
+			}
+			return off, nil // torn mid-header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		wantCRC := binary.BigEndian.Uint32(hdr[4:8])
+		if n < 9 || n > maxRecord {
+			return off, nil // corrupt length
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return off, nil // torn mid-payload
+		}
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			return off, nil // corrupt payload
+		}
+		rec := Record{
+			Seq:  binary.BigEndian.Uint64(payload[0:8]),
+			Kind: payload[8],
+			Data: payload[9:],
+		}
+		// Sequence must advance by exactly one record at a time; anything
+		// else means the log was damaged here.
+		if st.LastSeq != 0 && rec.Seq != st.LastSeq+1 {
+			return off, nil
+		}
+		st.LastSeq = rec.Seq
+		off += recHdrSize + int64(n)
+		if rec.Seq <= afterSeq {
+			st.Skipped++
+			continue
+		}
+		if err := fn(rec); err != nil {
+			return -1, &ReplayError{Seq: rec.Seq, Err: err}
+		}
+		st.Applied++
+	}
+}

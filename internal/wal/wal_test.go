@@ -1,0 +1,379 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// replayAll replays dir from scratch and returns the collected records.
+func replayAll(t *testing.T, fsys FS, dir string) ([]Record, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	st, err := Replay(fsys, dir, 0, func(r Record) error {
+		cp := r
+		cp.Data = append([]byte(nil), r.Data...)
+		recs = append(recs, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, st
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"CREATE TABLE t (x INT)", "INSERT INTO t VALUES (1)", "INSERT INTO t VALUES (2)"}
+	for i, sql := range want {
+		seq, err := l.Append(KindStatement, []byte(sql))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, seq)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := replayAll(t, nil, dir)
+	if st.LastSeq != 3 || st.Applied != 3 || st.Truncated {
+		t.Fatalf("stats %+v", st)
+	}
+	for i, r := range recs {
+		if string(r.Data) != want[i] || r.Kind != KindStatement || r.Seq != uint64(i+1) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+	}
+
+	// Re-open after the durable prefix and keep appending; replay sees both.
+	l2, err := Open(Options{Dir: dir}, st.LastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := l2.Append(KindStatement, []byte("fourth")); err != nil || seq != 4 {
+		t.Fatalf("append after reopen: seq %d err %v", seq, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st = replayAll(t, nil, dir)
+	if len(recs) != 4 || st.LastSeq != 4 {
+		t.Fatalf("after reopen: %d records, stats %+v", len(recs), st)
+	}
+}
+
+func TestReplayAfterSeqSkips(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(KindStatement, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	var recs []Record
+	st, err := Replay(nil, dir, 3, func(r Record) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 3 || st.Applied != 2 || len(recs) != 2 || recs[0].Seq != 4 {
+		t.Fatalf("stats %+v recs %+v", st, recs)
+	}
+}
+
+// TestTornTailTruncated cuts the final record mid-payload — what a crash
+// during an append leaves behind — and verifies replay recovers the valid
+// prefix, truncates the tear, and the log accepts new appends afterwards.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStatement, []byte(fmt.Sprintf("stmt-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	segs, err := segments(OS, dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v err %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0])
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear 3 bytes off the last record.
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := replayAll(t, nil, dir)
+	if len(recs) != 2 || !st.Truncated || st.LastSeq != 2 {
+		t.Fatalf("after tear: %d records, stats %+v", len(recs), st)
+	}
+	// Idempotent: a second replay sees the same clean prefix, no more tears.
+	recs, st = replayAll(t, nil, dir)
+	if len(recs) != 2 || st.Truncated {
+		t.Fatalf("second replay: %d records, stats %+v", len(recs), st)
+	}
+
+	// The log must append cleanly after recovery.
+	l2, err := Open(Options{Dir: dir}, st.LastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := l2.Append(KindStatement, []byte("recovered")); err != nil || seq != 3 {
+		t.Fatalf("append after recovery: seq %d err %v", seq, err)
+	}
+	l2.Close()
+	recs, _ = replayAll(t, nil, dir)
+	if len(recs) != 3 || string(recs[2].Data) != "recovered" {
+		t.Fatalf("final replay: %+v", recs)
+	}
+}
+
+// TestCorruptRecordDropsLaterSegments flips a payload byte in the first of
+// two segments: replay must stop at the corruption and remove the now
+// unreachable second segment.
+func TestCorruptRecordDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStatement, []byte(fmt.Sprintf("seg1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStatement, []byte("seg2-0")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Open created seg1, Rotate created seg2; Close does not rotate.
+	segs, _ := segments(OS, dir)
+	if len(segs) != 2 {
+		t.Fatalf("segments: %v", segs)
+	}
+	// Corrupt the last byte of the first segment (inside record 3's payload).
+	path := filepath.Join(dir, segs[0])
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := replayAll(t, nil, dir)
+	if len(recs) != 2 || !st.Truncated || st.SegmentsRemoved == 0 {
+		t.Fatalf("after corruption: %d records, stats %+v", len(recs), st)
+	}
+	if segs, _ := segments(OS, dir); len(segs) != 1 {
+		t.Fatalf("later segments not removed: %v", segs)
+	}
+}
+
+func TestRotateAndTrim(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := l.Append(KindStatement, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStatement, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	// Records 1..4 are covered by a checkpoint at seq 4: the first segment
+	// can go, the active one must stay.
+	n, err := l.TrimBefore(4)
+	if err != nil || n != 1 {
+		t.Fatalf("trim: n=%d err=%v", n, err)
+	}
+	recs, st := replayAll(t, nil, dir)
+	if len(recs) != 1 || recs[0].Seq != 5 || st.LastSeq != 5 {
+		t.Fatalf("after trim: recs %+v stats %+v", recs, st)
+	}
+	// Trimming at a seq that does not cover the active segment is a no-op.
+	if n, err := l.TrimBefore(100); err != nil || n != 0 {
+		t.Fatalf("trim active: n=%d err=%v", n, err)
+	}
+	l.Close()
+}
+
+// TestFaultInjectionWrite arms the shim to fail (and tear) the write of the
+// third record: the append must error, the log must latch failed, and replay
+// must recover exactly the two durable records.
+func TestFaultInjectionWrite(t *testing.T) {
+	for _, short := range []bool{false, true} {
+		t.Run(fmt.Sprintf("short=%v", short), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(OS)
+			l, err := Open(Options{Dir: dir, FS: ffs}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2; i++ {
+				if _, err := l.Append(KindStatement, []byte(fmt.Sprintf("ok-%d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ffs.FailWriteAt(1, short)
+			if _, err := l.Append(KindStatement, []byte("lost")); !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected append: %v", err)
+			}
+			// The failure latches: later appends fail fast with ErrLogFailed.
+			if _, err := l.Append(KindStatement, []byte("refused")); !errors.Is(err, ErrLogFailed) {
+				t.Fatalf("append after failure: %v", err)
+			}
+			if l.Failed() == nil {
+				t.Fatal("Failed() not latched")
+			}
+			l.Close()
+
+			recs, st := replayAll(t, nil, dir)
+			if len(recs) != 2 || st.LastSeq != 2 {
+				t.Fatalf("recovered %d records, stats %+v", len(recs), st)
+			}
+			if short && !st.Truncated {
+				t.Fatal("short write left no tear to truncate")
+			}
+		})
+	}
+}
+
+// TestFaultInjectionSync fails the fsync of an append under SyncAlways: the
+// statement must not be acknowledged and the log must latch.
+func TestFaultInjectionSync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	l, err := Open(Options{Dir: dir, FS: ffs, Policy: SyncAlways}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStatement, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailSyncAt(1)
+	if _, err := l.Append(KindStatement, []byte("unsynced")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected sync: %v", err)
+	}
+	if _, err := l.Append(KindStatement, []byte("refused")); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append after sync failure: %v", err)
+	}
+	l.Close()
+}
+
+func TestSyncPolicies(t *testing.T) {
+	var syncs int
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Policy: SyncAlways, OnSync: func(time.Duration) { syncs++ }}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStatement, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if syncs != 3 {
+		t.Fatalf("SyncAlways: %d syncs for 3 appends", syncs)
+	}
+	l.Close()
+
+	// SyncInterval flushes in the background within a few periods.
+	syncCh := make(chan struct{}, 16)
+	l2, err := Open(Options{
+		Dir: t.TempDir(), Policy: SyncInterval, Interval: 5 * time.Millisecond,
+		OnSync: func(time.Duration) { syncCh <- struct{}{} },
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Append(KindStatement, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-syncCh:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SyncInterval never flushed")
+	}
+	l2.Close()
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"always", SyncAlways, true},
+		{"interval", SyncInterval, true},
+		{"never", SyncNever, true},
+		{"sometimes", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if (err == nil) != tc.ok || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.ok && got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+}
+
+// TestReplayCallbackError pins that an apply failure aborts replay with a
+// typed error and leaves the log intact.
+func TestReplayCallbackError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(Options{Dir: dir}, 0)
+	for i := 0; i < 3; i++ {
+		l.Append(KindStatement, []byte{byte(i)})
+	}
+	l.Close()
+	boom := errors.New("boom")
+	_, err := Replay(nil, dir, 0, func(r Record) error {
+		if r.Seq == 2 {
+			return boom
+		}
+		return nil
+	})
+	var re *ReplayError
+	if !errors.As(err, &re) || re.Seq != 2 || !errors.Is(err, boom) {
+		t.Fatalf("replay error: %v", err)
+	}
+	// Log untouched: a full replay still sees all three records.
+	recs, _ := replayAll(t, nil, dir)
+	if len(recs) != 3 {
+		t.Fatalf("log damaged by callback error: %d records", len(recs))
+	}
+}
