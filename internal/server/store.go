@@ -30,6 +30,11 @@ const (
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrStoreClosed reports a mutating statement that reached the engine after
+// Store.Close began: the log no longer accepts records, so the statement
+// cannot be made durable and is failed rather than silently acknowledged.
+var ErrStoreClosed = errors.New("server: store closed; statement not logged")
+
 // StoreOptions configures a durable Store.
 type StoreOptions struct {
 	// Dir is the data directory (created if missing): checkpoint.sgb plus
@@ -114,6 +119,15 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		m.Counter("wal_truncations_total").Inc()
 	}
 
+	// Seed the log past both the replayed tail and the checkpoint's covered
+	// seq. After a graceful shutdown the trimmed log is empty (LastSeq 0) and
+	// the checkpoint alone carries the position; restarting numbering below
+	// it would make the next recovery skip freshly acknowledged records as
+	// already covered.
+	startSeq := st.LastSeq
+	if seq > startSeq {
+		startSeq = seq
+	}
 	log, err := wal.Open(wal.Options{
 		Dir:      opts.Dir,
 		Policy:   opts.Policy,
@@ -122,7 +136,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		OnSync: func(d time.Duration) {
 			m.Histogram("wal_fsync_seconds", obs.DefBuckets).Observe(d.Seconds())
 		},
-	}, st.LastSeq)
+	}, startSeq)
 	if err != nil {
 		return nil, fmt.Errorf("server: opening wal in %s: %w", opts.Dir, err)
 	}
@@ -304,11 +318,22 @@ func (s *Store) checkpointLoop() {
 
 // Close stops the checkpointer, writes a final checkpoint (the graceful-
 // shutdown snapshot), and closes the log. Safe to call more than once.
+//
+// Close fences the commit path rather than unhooking it: any mutating
+// statement that reaches the engine after the fence fails with
+// ErrStoreClosed instead of being acknowledged with neither a WAL record nor
+// checkpoint coverage. The fence stays installed after Close — this store
+// owns the DB's durability and can no longer provide it.
 func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
-		s.db.SetCommitHook(nil)
+		s.db.SetCommitHook(func(stmt engine.Statement, _ string) error {
+			if !loggedStatement(stmt) {
+				return nil
+			}
+			return ErrStoreClosed
+		})
 		err := s.Checkpoint()
 		if cerr := s.log.Close(); err == nil {
 			err = cerr

@@ -137,6 +137,76 @@ func TestStoreGracefulClose(t *testing.T) {
 	}
 }
 
+// TestStoreSeqContinuesAfterGracefulRestart pins the regression where a
+// graceful close (checkpoint + trimmed, empty log) made the next generation
+// restart WAL numbering at 1: its acknowledged writes then carried seqs at
+// or below the checkpoint's covered seq, and a later recovery skipped them
+// as already covered — open → write → close → open → write → crash → open
+// lost the second-generation write.
+func TestStoreSeqContinuesAfterGracefulRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s1.DB(), "CREATE TABLE t (x INT)")
+	mustExec(t, s1.DB(), "INSERT INTO t VALUES (1)")
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s2.DB(), "INSERT INTO t VALUES (2)")
+	// Crash: abandon s2 without Close — no final checkpoint.
+
+	s3, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.ReplayedRecords(); got != 1 {
+		t.Errorf("replayed %d records, want 1 (the post-restart insert)", got)
+	}
+	if n := countRows(t, s3.DB(), "t"); n != 2 {
+		t.Errorf("recovered %d rows, want 2 — second-generation write lost", n)
+	}
+}
+
+// TestStoreCloseFencesLateWrites: once Close has run, a mutating statement
+// must fail with ErrStoreClosed rather than be acknowledged with neither a
+// WAL record nor checkpoint coverage; reads keep working.
+func TestStoreCloseFencesLateWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s.DB(), "CREATE TABLE t (x INT)")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.DB().Exec("INSERT INTO t VALUES (1)")
+	var de *engine.DurabilityError
+	if !errors.As(err, &de) || !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("write after close: %v, want DurabilityError wrapping ErrStoreClosed", err)
+	}
+	if _, err := s.DB().Query("SELECT count(*) FROM t"); err != nil {
+		t.Fatalf("read after close: %v", err)
+	}
+	// The fenced write was never acknowledged, so recovery must not show it.
+	s2, err := OpenStore(StoreOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if n := countRows(t, s2.DB(), "t"); n != 0 {
+		t.Errorf("recovered %d rows, want 0 — unlogged write resurfaced", n)
+	}
+}
+
 // TestStoreTornTailRecovery tears the final WAL record (as a mid-append
 // crash would) and verifies recovery truncates it: every earlier statement
 // survives, the torn one vanishes, and the store keeps serving writes.

@@ -48,6 +48,13 @@ func (e *ReplayError) Unwrap() error { return e.Err }
 // start offset, any later segments are removed, and replay stops cleanly.
 // Replay is idempotent: running it again yields the same prefix.
 //
+// Continuity is validated against the segment file names, not just within
+// the scan: each segment's first record must carry the sequence number
+// encoded in its name, records advance by exactly one across segment
+// boundaries, and the oldest segment must not start past afterSeq+1 — a log
+// whose surviving head already post-dates the checkpoint's coverage has lost
+// acknowledged records, which is an error, never a silent skip.
+//
 // A callback error aborts replay immediately with a *ReplayError; the log is
 // left untouched, since the record itself was valid.
 func Replay(fsys FS, dir string, afterSeq uint64, fn func(Record) error) (ReplayStats, error) {
@@ -59,9 +66,35 @@ func Replay(fsys FS, dir string, afterSeq uint64, fn func(Record) error) (Replay
 	if err != nil {
 		return st, err
 	}
+	// expect is the sequence the next segment's name must carry; 0 until the
+	// first segment establishes it.
+	var expect uint64
 	for i, name := range segs {
+		first, _ := segFirstSeq(name)
+		if expect == 0 && first > afterSeq+1 {
+			// The oldest surviving segment starts past what the checkpoint
+			// covers: records afterSeq+1..first-1 are gone. That is not a
+			// torn tail — refuse to recover rather than lose them silently.
+			return st, fmt.Errorf("wal: oldest segment %s starts at seq %d but the checkpoint covers only seq %d: records %d..%d are missing",
+				name, first, afterSeq, afterSeq+1, first-1)
+		}
+		if expect != 0 && first != expect {
+			// The sequence breaks at a segment boundary: this segment and
+			// everything after it cannot be applied consistently.
+			st.Truncated = true
+			for _, later := range segs[i:] {
+				if err := fsys.Remove(filepath.Join(dir, later)); err != nil {
+					return st, err
+				}
+				st.SegmentsRemoved++
+			}
+			if err := fsys.SyncDir(dir); err != nil {
+				return st, err
+			}
+			break
+		}
 		path := filepath.Join(dir, name)
-		truncAt, err := replaySegment(fsys, path, afterSeq, &st, fn)
+		truncAt, err := replaySegment(fsys, path, first, afterSeq, &st, fn)
 		if err != nil {
 			return st, err
 		}
@@ -83,14 +116,20 @@ func Replay(fsys FS, dir string, afterSeq uint64, fn func(Record) error) (Replay
 			}
 			break
 		}
+		if st.LastSeq >= first {
+			expect = st.LastSeq + 1
+		} else {
+			expect = first // empty segment: its promised first seq is still owed
+		}
 	}
 	return st, nil
 }
 
-// replaySegment scans one segment. It returns truncAt >= 0 when the segment
-// must be cut at that byte offset (torn/corrupt record), -1 when the segment
-// is clean. Callback errors surface as err.
-func replaySegment(fsys FS, path string, afterSeq uint64, st *ReplayStats, fn func(Record) error) (truncAt int64, err error) {
+// replaySegment scans one segment whose file name promises firstSeq as its
+// first record. It returns truncAt >= 0 when the segment must be cut at that
+// byte offset (torn/corrupt record), -1 when the segment is clean. Callback
+// errors surface as err.
+func replaySegment(fsys FS, path string, firstSeq, afterSeq uint64, st *ReplayStats, fn func(Record) error) (truncAt int64, err error) {
 	f, err := fsys.Open(path)
 	if err != nil {
 		return -1, err
@@ -107,6 +146,7 @@ func replaySegment(fsys FS, path string, afterSeq uint64, st *ReplayStats, fn fu
 	off := int64(len(segMagic))
 
 	hdr := make([]byte, recHdrSize)
+	expect := firstSeq
 	for {
 		if _, err := io.ReadFull(br, hdr); err != nil {
 			if err == io.EOF {
@@ -131,12 +171,14 @@ func replaySegment(fsys FS, path string, afterSeq uint64, st *ReplayStats, fn fu
 			Kind: payload[8],
 			Data: payload[9:],
 		}
-		// Sequence must advance by exactly one record at a time; anything
-		// else means the log was damaged here.
-		if st.LastSeq != 0 && rec.Seq != st.LastSeq+1 {
+		// The segment's name encodes its first sequence number and the
+		// sequence advances by exactly one per record, so every record's seq
+		// is known in advance; anything else means the log was damaged here.
+		if rec.Seq != expect {
 			return off, nil
 		}
 		st.LastSeq = rec.Seq
+		expect = rec.Seq + 1
 		off += recHdrSize + int64(n)
 		if rec.Seq <= afterSeq {
 			st.Skipped++

@@ -196,6 +196,113 @@ func TestCorruptRecordDropsLaterSegments(t *testing.T) {
 	}
 }
 
+// TestReplayValidatesSegmentName: a segment whose records do not start at
+// the sequence its file name promises is damaged, even when the records are
+// internally consistent — the first record of the scan must be validated
+// too, or a renumbered/foreign log is silently applied or skipped.
+func TestReplayValidatesSegmentName(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStatement, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Records 1..3 now live in a segment claiming to start at 2; afterSeq 1
+	// keeps the rename clear of the missing-prefix check, so only the
+	// name-vs-record validation can catch it.
+	if err := os.Rename(filepath.Join(dir, segName(1)), filepath.Join(dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(nil, dir, 1, func(Record) error {
+		t.Fatal("record applied from a mismatched segment")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Truncated || st.Applied != 0 || st.LastSeq != 0 {
+		t.Fatalf("mismatched segment not truncated: %+v", st)
+	}
+}
+
+// TestReplaySegmentNameGapDropsTail: a sequence break at a segment boundary
+// (the second segment's name does not continue the first's records) makes
+// the tail unreachable; replay must drop it rather than apply records out of
+// order.
+func TestReplaySegmentNameGapDropsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStatement, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStatement, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Damage: the second segment (records from 4) claims to start at 6.
+	if err := os.Rename(filepath.Join(dir, segName(4)), filepath.Join(dir, segName(6))); err != nil {
+		t.Fatal(err)
+	}
+	recs, st := replayAll(t, nil, dir)
+	if len(recs) != 3 || !st.Truncated || st.SegmentsRemoved != 1 || st.LastSeq != 3 {
+		t.Fatalf("after boundary gap: %d records, stats %+v", len(recs), st)
+	}
+	if segs, _ := segments(OS, dir); len(segs) != 1 {
+		t.Fatalf("unreachable segment not removed: %v", segs)
+	}
+}
+
+// TestReplayMissingPrefixErrors: when the oldest surviving segment starts
+// past afterSeq+1, acknowledged records between the checkpoint and the log
+// head are gone; replay must refuse rather than skip them silently.
+func TestReplayMissingPrefixErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(KindStatement, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(KindStatement, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Lose the first segment (records 1..3) with no checkpoint covering it.
+	if err := os.Remove(filepath.Join(dir, segName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(nil, dir, 0, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay with a missing covered segment succeeded; want error")
+	}
+	// With a checkpoint covering the lost records, recovery proceeds.
+	st, err := Replay(nil, dir, 3, func(Record) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 1 || st.LastSeq != 4 {
+		t.Fatalf("replay past checkpoint: %+v", st)
+	}
+}
+
 func TestRotateAndTrim(t *testing.T) {
 	dir := t.TempDir()
 	l, err := Open(Options{Dir: dir}, 0)
@@ -219,9 +326,18 @@ func TestRotateAndTrim(t *testing.T) {
 	if err != nil || n != 1 {
 		t.Fatalf("trim: n=%d err=%v", n, err)
 	}
-	recs, st := replayAll(t, nil, dir)
+	var recs []Record
+	st, err := Replay(nil, dir, 4, func(r Record) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatalf("replay after trim: %v", err)
+	}
 	if len(recs) != 1 || recs[0].Seq != 5 || st.LastSeq != 5 {
 		t.Fatalf("after trim: recs %+v stats %+v", recs, st)
+	}
+	// Replaying a trimmed log without its checkpoint is refused: the trimmed
+	// records cannot be silently skipped.
+	if _, err := Replay(nil, dir, 0, func(Record) error { return nil }); err == nil {
+		t.Fatal("replay from 0 on a trimmed log succeeded; want missing-records error")
 	}
 	// Trimming at a seq that does not cover the active segment is a no-op.
 	if n, err := l.TrimBefore(100); err != nil || n != 0 {
