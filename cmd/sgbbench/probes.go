@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"sgb/internal/checkin"
@@ -26,6 +28,10 @@ import (
 // speedup, so the parallel executor's trajectory is tracked alongside the
 // algorithmic counters. Probes the planner refuses to parallelize (SGB-All
 // modes, non-mergeable aggregates) naturally report a speedup near 1.
+//
+// Schema v3 raises the rep count and records the p50/p95/p99 wall times
+// (nearest-rank over the parallel variant's samples) next to the minimum, so
+// tail-latency regressions are visible even when the best-case time holds.
 
 // probeResult is one probe run in the JSON document.
 type probeResult struct {
@@ -35,6 +41,9 @@ type probeResult struct {
 	N             int     `json:"n"`
 	Eps           float64 `json:"eps"`
 	WallMS        float64 `json:"wall_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
 	WallSerialMS  float64 `json:"wall_serial_ms"`
 	Speedup       float64 `json:"speedup_vs_serial"`
 	Workers       int     `json:"workers"`
@@ -62,10 +71,26 @@ type benchDoc struct {
 	Metrics       obs.Snapshot  `json:"metrics"`
 }
 
-// probeReps is how many times each probe variant runs; the minimum wall time
-// is reported, which filters scheduler noise out of the speedup ratio on the
-// sub-millisecond probes.
-const probeReps = 3
+// probeReps is how many times each probe variant runs. The minimum wall time
+// is reported for the speedup ratio (it filters scheduler noise on the
+// sub-millisecond probes), and since schema v3 the sample distribution also
+// yields p50/p95/p99 — enough reps that the p99 is a real observation rather
+// than a copy of the max of three.
+const probeReps = 9
+
+// percentile returns the nearest-rank p-th percentile of sorted (ascending)
+// samples: the smallest sample with at least p percent of the distribution at
+// or below it.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
 
 // writeBenchJSON runs the probe suite and writes the document to path. A
 // non-zero timeout bounds each probe's execution through the engine's
@@ -115,8 +140,10 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 	}
 
 	// timeQuery runs q probeReps times under the current session settings and
-	// returns the fastest wall time with that run's result.
-	timeQuery := func(q string, timeout time.Duration) (time.Duration, *engine.Result, error) {
+	// returns the ascending-sorted wall-time samples with the fastest run's
+	// result.
+	timeQuery := func(q string, timeout time.Duration) ([]time.Duration, *engine.Result, error) {
+		samples := make([]time.Duration, 0, probeReps)
 		best := time.Duration(0)
 		var bestRes *engine.Result
 		for i := 0; i < probeReps; i++ {
@@ -129,33 +156,37 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 			wall := time.Since(start)
 			cancel()
 			if err != nil {
-				return 0, nil, err
+				return nil, nil, err
 			}
+			samples = append(samples, wall)
 			if bestRes == nil || wall < best {
 				best, bestRes = wall, res
 			}
 		}
-		return best, bestRes, nil
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		return samples, bestRes, nil
 	}
 
 	doc := benchDoc{
-		SchemaVersion: 2, Dataset: "checkin", N: n, Seed: seed,
+		SchemaVersion: 3, Dataset: "checkin", N: n, Seed: seed,
 		Workers: workers, Batch: batch, GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	for _, p := range probes {
 		db.SetSGBAlgorithm(p.alg)
 
 		db.SetParallelism(1)
-		serialWall, serialRes, err := timeQuery(p.query, timeout)
+		serialSamples, serialRes, err := timeQuery(p.query, timeout)
 		if err != nil {
 			return fmt.Errorf("probe %s (serial): %w", p.name, err)
 		}
+		serialWall := serialSamples[0]
 
 		db.SetParallelism(workers)
-		wall, res, err := timeQuery(p.query, timeout)
+		samples, res, err := timeQuery(p.query, timeout)
 		if err != nil {
 			return fmt.Errorf("probe %s: %w", p.name, err)
 		}
+		wall := samples[0]
 		if len(res.Rows) != len(serialRes.Rows) {
 			return fmt.Errorf("probe %s: parallel returned %d rows, serial %d",
 				p.name, len(res.Rows), len(serialRes.Rows))
@@ -168,6 +199,9 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 			N:            n,
 			Eps:          p.eps,
 			WallMS:       float64(wall.Nanoseconds()) / 1e6,
+			P50MS:        float64(percentile(samples, 50).Nanoseconds()) / 1e6,
+			P95MS:        float64(percentile(samples, 95).Nanoseconds()) / 1e6,
+			P99MS:        float64(percentile(samples, 99).Nanoseconds()) / 1e6,
 			WallSerialMS: float64(serialWall.Nanoseconds()) / 1e6,
 			Workers:      workers,
 			Batch:        batch,

@@ -16,9 +16,14 @@
 //	                     no args: show)
 //	\save <file>         snapshot the database to a file
 //	\open <file>         replace the session database with a snapshot
-//	\timing              toggle query timing (with parse/plan/execute spans)
+//	\timing              toggle query timing (with parse/plan/execute spans;
+//	                     remote: also prints the query's trace ID)
 //	\stats               dump the engine metrics registry (Prometheus text)
 //	\slowlog <ms>        log queries slower than <ms> to stderr (0 disables)
+//	\slowlog             remote only: fetch the server's slow-query log,
+//	                     newest first, with each query's trace spans
+//	\processlist         remote only: show the server's in-flight queries
+//	                     (trace ID, client, state, elapsed)
 //	\limits rows <n> | time <dur> | off
 //	                     set per-query resource limits (no args: show)
 //	\q                   quit
@@ -140,9 +145,14 @@ func main() {
 		} else {
 			printResult(res)
 			if s.timing {
-				if s.db != nil && s.db.LastTrace() != nil {
+				switch {
+				case s.db != nil && s.db.LastTrace() != nil:
 					fmt.Printf("(%v — %s)\n", elapsed, s.db.LastTrace())
-				} else {
+				case s.conn != nil && s.conn.LastTraceID() != "":
+					// The trace ID keys the server-side trace: feed it to
+					// \slowlog or /debug/slowlog for the span breakdown.
+					fmt.Printf("(%v — trace=%s)\n", elapsed, s.conn.LastTraceID())
+				default:
 					fmt.Printf("(%v)\n", elapsed)
 				}
 			}
@@ -346,6 +356,8 @@ func meta(s *session, cmd string) bool {
 		default:
 			fmt.Println("unknown dataset:", fields[1])
 		}
+	case "\\processlist":
+		fmt.Println("\\processlist needs a server; use -connect")
 	default:
 		fmt.Println("unknown command:", fields[0])
 	}
@@ -374,8 +386,32 @@ func metaRemote(s *session, cmd string) bool {
 		s.timing = !s.timing
 		fmt.Println("timing:", s.timing)
 	case "\\slowlog":
+		// With no argument, fetch the server's slow-query log; with a
+		// threshold, keep the local client-side logging from embedded mode.
+		if len(fields) == 1 {
+			entries, err := c.SlowLog(context.Background())
+			if err != nil {
+				fmt.Println("slowlog failed:", err)
+				break
+			}
+			if len(entries) == 0 {
+				fmt.Println("server slowlog is empty")
+				break
+			}
+			for _, e := range entries {
+				fmt.Printf("%s  %8.3fms  trace=%s  client=%s\n", e.FinishedAt, e.ElapsedMS, e.TraceID, e.Client)
+				fmt.Printf("  %s\n", firstLine(e.SQL))
+				if e.Err != "" {
+					fmt.Printf("  error: %s\n", e.Err)
+				}
+				for _, sp := range e.Trace.Spans {
+					fmt.Printf("  %-12s %8.3fms\n", sp.Name, sp.DurMS)
+				}
+			}
+			break
+		}
 		if len(fields) != 2 {
-			fmt.Println("usage: \\slowlog <milliseconds>  (0 disables)")
+			fmt.Println("usage: \\slowlog [<milliseconds>]  (no args: fetch server slowlog; 0 disables local logging)")
 			break
 		}
 		ms, err := strconv.ParseFloat(fields[1], 64)
@@ -388,6 +424,20 @@ func metaRemote(s *session, cmd string) bool {
 			fmt.Println("slow-query log disabled")
 		} else {
 			fmt.Printf("logging queries slower than %v to stderr\n", s.slowLog)
+		}
+	case "\\processlist":
+		procs, err := c.ProcessList(context.Background())
+		if err != nil {
+			fmt.Println("processlist failed:", err)
+			break
+		}
+		if len(procs) == 0 {
+			fmt.Println("no queries in flight")
+			break
+		}
+		for _, q := range procs {
+			fmt.Printf("trace=%s  client=%s  state=%-10s  %8.3fms  %s\n",
+				q.TraceID, q.Client, q.State, q.ElapsedMS, firstLine(q.SQL))
 		}
 	case "\\stats":
 		text, err := c.Stats()

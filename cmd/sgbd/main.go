@@ -25,6 +25,16 @@
 //	-max-time D      default per-query execution time limit (0 = off)
 //	-alg NAME        default SGB algorithm: allpairs | bounds | index
 //	-drain-timeout D grace period for in-flight statements on shutdown
+//	-slow-query D    slowlog threshold: statements at least this slow are
+//	                 kept with their full trace (0 keeps all, -1 disables)
+//	-slowlog-size N  slow-query ring buffer capacity
+//	-trace-sample N  collect per-operator EXPLAIN ANALYZE actuals on every
+//	                 Nth statement (1 = every statement, 0 = never)
+//	-version         print version and build info, then exit
+//
+// The metrics listener also serves the observability surface: /debug/queries
+// (live process list), /debug/slowlog (recent slow queries with their
+// traces), and the standard /debug/pprof/ profiles.
 //
 // With -data-dir, every committed DML/DDL statement is appended to the WAL
 // before it is acknowledged on the wire (under -fsync always, a kill -9 or
@@ -50,8 +60,10 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -61,6 +73,12 @@ import (
 	"sgb/internal/server"
 	"sgb/internal/wal"
 )
+
+// buildVersion identifies this sgbd build in -version output and the
+// sgbd_build_info metric. Overridable at link time:
+//
+//	go build -ldflags "-X main.buildVersion=v1.2.3" ./cmd/sgbd
+var buildVersion = "0.6.0-dev"
 
 func main() {
 	var (
@@ -79,8 +97,16 @@ func main() {
 		maxTime      = flag.Duration("max-time", 0, "default per-query execution time limit (0 = unlimited)")
 		alg          = flag.String("alg", "index", "default SGB algorithm: allpairs|bounds|index")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight statements on shutdown")
+		slowQuery    = flag.Duration("slow-query", 100*time.Millisecond, "slowlog threshold (0 logs every statement, negative disables)")
+		slowlogSize  = flag.Int("slowlog-size", 128, "slow-query ring buffer capacity")
+		traceSample  = flag.Int("trace-sample", engine.DefaultTraceSampling, "collect EXPLAIN ANALYZE actuals every Nth statement (1 = always, 0 = never)")
+		showVersion  = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("sgbd %s (%s, %s/%s)\n", buildVersion, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 	cfg := daemonConfig{
 		addr: *addr, metricsAddr: *metricsAddr,
 		dataDir: *dataDir, fsync: *fsyncPolicy, fsyncInterval: *fsyncEvery,
@@ -88,6 +114,7 @@ func main() {
 		maxConns: *maxConns, idleTimeout: *idleTimeout,
 		parallel: *parallel, batch: *batch, maxRows: *maxRows, maxTime: *maxTime,
 		alg: *alg, drainTimeout: *drainTimeout,
+		slowQuery: *slowQuery, slowlogSize: *slowlogSize, traceSample: *traceSample,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbd:", err)
@@ -109,6 +136,9 @@ type daemonConfig struct {
 	maxTime            time.Duration
 	alg                string
 	drainTimeout       time.Duration
+	slowQuery          time.Duration
+	slowlogSize        int
+	traceSample        int
 }
 
 func run(cfg daemonConfig) error {
@@ -120,18 +150,40 @@ func run(cfg daemonConfig) error {
 	// and /readyz honestly reports 503 while the WAL tail replays.
 	reg := obs.NewRegistry()
 	health := server.NewHealth()
+
+	// Build identity and uptime. The fsync label reflects the effective
+	// durability mode ("none" without -data-dir), so one scrape answers
+	// "what is this process and how safe are its commits".
+	fsyncLabel := "none"
+	if cfg.dataDir != "" {
+		fsyncLabel = cfg.fsync
+	}
+	reg.Gauge(fmt.Sprintf("sgbd_build_info{version=%q,go=%q,fsync=%q}",
+		buildVersion, runtime.Version(), fsyncLabel)).Set(1)
+	uptime := reg.Gauge("server_uptime_seconds")
+	procStart := time.Now()
+
 	var metricsSrv *http.Server
+	var mux *http.ServeMux
 	if cfg.metricsAddr != "" {
 		ln, err := net.Listen("tcp", cfg.metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listen %s: %w", cfg.metricsAddr, err)
 		}
-		mux := http.NewServeMux()
+		mux = http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			uptime.Set(time.Since(procStart).Seconds())
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			_ = reg.WritePrometheus(w)
 		})
 		health.Register(mux)
+		// Standard pprof profiles, on the metrics listener rather than
+		// http.DefaultServeMux so the wire port stays protocol-only.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		metricsSrv = &http.Server{Handler: mux}
 		go func() { _ = metricsSrv.Serve(ln) }()
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
@@ -191,14 +243,23 @@ func run(cfg daemonConfig) error {
 	db.SetParallelism(cfg.parallel)
 	db.SetBatchSize(cfg.batch)
 	db.SetLimits(engine.Limits{MaxRowsMaterialized: cfg.maxRows, MaxExecutionTime: cfg.maxTime})
+	db.SetTraceSampling(cfg.traceSample)
 
 	srv := server.New(db, server.Config{
-		Addr:        cfg.addr,
-		MaxConns:    cfg.maxConns,
-		IdleTimeout: cfg.idleTimeout,
+		Addr:               cfg.addr,
+		MaxConns:           cfg.maxConns,
+		IdleTimeout:        cfg.idleTimeout,
+		SlowQueryThreshold: cfg.slowQuery,
+		SlowLogSize:        cfg.slowlogSize,
 	})
 	if err := srv.Start(); err != nil {
 		return err
+	}
+	if mux != nil {
+		// ServeMux registration is concurrency-safe, so the introspection
+		// endpoints may join the already-serving metrics mux now that the
+		// server exists.
+		srv.RegisterDebug(mux)
 	}
 	fmt.Printf("listening on %s\n", srv.Addr())
 	health.SetReady(true)

@@ -16,6 +16,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"time"
 
 	"sgb/internal/engine"
+	"sgb/internal/obs"
 	"sgb/internal/wire"
 )
 
@@ -65,7 +67,13 @@ type Conn struct {
 	// closed is set under qmu+wmu by Close.
 	closed bool
 
-	server string // server identification from the Welcome handshake
+	server  string // server identification from the Welcome handshake
+	version uint32 // negotiated protocol version from the Welcome handshake
+
+	// idMu guards lastTraceID, readable from any goroutine while the
+	// querying goroutine advances it.
+	idMu        sync.Mutex
+	lastTraceID string
 }
 
 // Connect dials addr and performs the protocol handshake.
@@ -123,10 +131,25 @@ func retryable(err error) bool {
 	return true
 }
 
-// dialAndHandshake performs one connection attempt. Every failure path
-// closes the socket — the deferred cleanup is the single place that decides,
-// so no early return can leak the net.Conn.
-func dialAndHandshake(ctx context.Context, addr string) (c *Conn, err error) {
+// dialAndHandshake performs one connection attempt at the current protocol
+// version. When an older server refuses it with CodeVersionMismatch, the
+// client redials once offering the oldest version it still speaks — so a new
+// client keeps working against a v1 server (losing only the v2 extras, such
+// as trace-ID propagation).
+func dialAndHandshake(ctx context.Context, addr string) (*Conn, error) {
+	c, err := dialAt(ctx, addr, wire.Version)
+	var se *ServerError
+	if err != nil && errors.As(err, &se) && se.Code == wire.CodeVersionMismatch &&
+		wire.MinVersion < wire.Version {
+		return dialAt(ctx, addr, wire.MinVersion)
+	}
+	return c, err
+}
+
+// dialAt performs one connection attempt offering the given protocol version.
+// Every failure path closes the socket — the deferred cleanup is the single
+// place that decides, so no early return can leak the net.Conn.
+func dialAt(ctx context.Context, addr string, version uint32) (c *Conn, err error) {
 	var d net.Dialer
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -142,7 +165,7 @@ func dialAndHandshake(ctx context.Context, addr string) (c *Conn, err error) {
 	} else {
 		nc.SetDeadline(time.Now().Add(10 * time.Second))
 	}
-	if err := wire.WriteMessage(nc, &wire.Hello{Version: wire.Version}); err != nil {
+	if err := wire.WriteMessage(nc, &wire.Hello{Version: version}); err != nil {
 		return nil, fmt.Errorf("client: handshake: %w", err)
 	}
 	msg, err := wire.ReadMessage(nc)
@@ -152,7 +175,7 @@ func dialAndHandshake(ctx context.Context, addr string) (c *Conn, err error) {
 	switch m := msg.(type) {
 	case *wire.Welcome:
 		nc.SetDeadline(time.Time{})
-		return &Conn{nc: nc, server: m.Server}, nil
+		return &Conn{nc: nc, server: m.Server, version: m.Version}, nil
 	case *wire.Error:
 		return nil, m
 	default:
@@ -162,6 +185,18 @@ func dialAndHandshake(ctx context.Context, addr string) (c *Conn, err error) {
 
 // Server reports the server identification string from the handshake.
 func (c *Conn) Server() string { return c.server }
+
+// Version reports the negotiated protocol version from the handshake.
+func (c *Conn) Version() uint32 { return c.version }
+
+// LastTraceID reports the trace ID the client attached to its most recent
+// query, empty before the first query or when the server only speaks protocol
+// v1 (which has no trace propagation). Safe to call from any goroutine.
+func (c *Conn) LastTraceID() string {
+	c.idMu.Lock()
+	defer c.idMu.Unlock()
+	return c.lastTraceID
+}
 
 // Close sends a graceful goodbye and closes the socket.
 func (c *Conn) Close() error {
@@ -227,6 +262,7 @@ func (c *Conn) Exec(sql string) (*engine.Result, error) {
 type Rows struct {
 	c        *Conn
 	ctx      context.Context
+	traceID  string
 	cols     []string
 	done     bool
 	affected int64
@@ -245,13 +281,25 @@ type Rows struct {
 // before Stream returns, so column names are immediately available.
 func (c *Conn) Stream(ctx context.Context, sql string) (*Rows, error) {
 	c.qmu.Lock()
+	// Trace propagation is a v2 extra: the client mints the query's trace ID
+	// so the end-to-end trace starts at the caller, and the server's slowlog
+	// entry can be looked up by an ID the client already holds. Against a v1
+	// server the field must stay empty — the frame then encodes byte-for-byte
+	// as a v1 Query.
+	var traceID string
+	if c.version >= 2 {
+		traceID = obs.NewTraceID()
+		c.idMu.Lock()
+		c.lastTraceID = traceID
+		c.idMu.Unlock()
+	}
 	// The lock is held until the Rows is fully drained or closed; Rows.finish
 	// releases it.
-	if err := c.writeMsg(&wire.Query{SQL: sql}); err != nil {
+	if err := c.writeMsg(&wire.Query{SQL: sql, TraceID: traceID}); err != nil {
 		c.qmu.Unlock()
 		return nil, err
 	}
-	r := &Rows{c: c, ctx: ctx, stopWatch: make(chan struct{})}
+	r := &Rows{c: c, ctx: ctx, traceID: traceID, stopWatch: make(chan struct{})}
 	if ctx.Done() != nil {
 		go func() {
 			select {
@@ -305,6 +353,11 @@ func (r *Rows) read() (wire.Message, error) {
 	}
 	return msg, nil
 }
+
+// TraceID reports the trace ID attached to this query (empty on a v1
+// connection). Present the ID to \slowlog or /debug/slowlog to retrieve the
+// server-side trace.
+func (r *Rows) TraceID() string { return r.traceID }
 
 // Columns names the result columns (empty for DDL/DML).
 func (r *Rows) Columns() []string { return r.cols }
@@ -423,6 +476,52 @@ func (c *Conn) Stats() (string, error) {
 		return "", m
 	default:
 		return "", fmt.Errorf("client: unexpected %T to Stats", msg)
+	}
+}
+
+// ProcessList fetches the server's in-flight queries (oldest first) — the
+// wire form of \processlist. Requires a v2 server.
+func (c *Conn) ProcessList(ctx context.Context) ([]obs.QueryInfo, error) {
+	var out []obs.QueryInfo
+	if err := c.introspect(ctx, wire.IntrospectProcessList, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SlowLog fetches the server's slow-query ring buffer, newest first — the
+// wire form of \slowlog. Requires a v2 server.
+func (c *Conn) SlowLog(ctx context.Context) ([]obs.SlowQuery, error) {
+	var out []obs.SlowQuery
+	if err := c.introspect(ctx, wire.IntrospectSlowLog, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// introspect round-trips one Introspect request and unmarshals the JSON
+// payload into v.
+func (c *Conn) introspect(ctx context.Context, what string, v any) error {
+	c.qmu.Lock()
+	defer c.qmu.Unlock()
+	if deadline, ok := ctx.Deadline(); ok {
+		c.nc.SetReadDeadline(deadline)
+		defer c.nc.SetReadDeadline(time.Time{})
+	}
+	if err := c.writeMsg(&wire.Introspect{What: what}); err != nil {
+		return err
+	}
+	msg, err := wire.ReadMessage(c.nc)
+	if err != nil {
+		return err
+	}
+	switch m := msg.(type) {
+	case *wire.IntrospectResult:
+		return json.Unmarshal([]byte(m.JSON), v)
+	case *wire.Error:
+		return m
+	default:
+		return fmt.Errorf("client: unexpected %T to Introspect", msg)
 	}
 }
 

@@ -98,22 +98,25 @@ func readHello(t *testing.T, nc net.Conn) bool {
 // rather than lingering until process exit.
 func TestConnectFailureClosesSocket(t *testing.T) {
 	scenarios := []struct {
-		name    string
+		name string
+		// accepts is how many connections the failure consumes: 1, except a
+		// version mismatch, where the client redials once at MinVersion.
+		accepts int64
 		respond func(t *testing.T, nc net.Conn)
 	}{
-		{"garbage reply", func(t *testing.T, nc net.Conn) {
+		{"garbage reply", 1, func(t *testing.T, nc net.Conn) {
 			if !readHello(t, nc) {
 				return
 			}
 			nc.Write([]byte("HTTP/1.1 400 Bad Request\r\n\r\n"))
 		}},
-		{"wrong message type", func(t *testing.T, nc net.Conn) {
+		{"wrong message type", 1, func(t *testing.T, nc net.Conn) {
 			if !readHello(t, nc) {
 				return
 			}
 			wire.WriteMessage(nc, &wire.Pong{})
 		}},
-		{"typed rejection", func(t *testing.T, nc net.Conn) {
+		{"typed rejection", 2, func(t *testing.T, nc net.Conn) {
 			if !readHello(t, nc) {
 				return
 			}
@@ -122,24 +125,66 @@ func TestConnectFailureClosesSocket(t *testing.T) {
 	}
 	for _, sc := range scenarios {
 		t.Run(sc.name, func(t *testing.T) {
-			closed := make(chan struct{})
+			closed := make(chan struct{}, 8)
 			srv := newScriptServer(t, func(_ int64, nc net.Conn) {
 				sc.respond(t, nc)
 				expectPeerClose(t, nc, sc.name)
-				close(closed)
+				closed <- struct{}{}
 			})
 			if _, err := client.Connect(srv.addr()); err == nil {
 				t.Fatal("connect succeeded against a misbehaving server")
 			}
-			select {
-			case <-closed:
-			case <-time.After(10 * time.Second):
-				t.Fatal("script server never observed the client close")
+			for i := int64(0); i < sc.accepts; i++ {
+				select {
+				case <-closed:
+				case <-time.After(10 * time.Second):
+					t.Fatal("script server never observed the client close")
+				}
 			}
-			if n := srv.accepted.Load(); n != 1 {
-				t.Fatalf("accepted %d connections, want 1 (no retries without Options)", n)
+			if n := srv.accepted.Load(); n != sc.accepts {
+				t.Fatalf("accepted %d connections, want %d", n, sc.accepts)
 			}
 		})
+	}
+}
+
+// TestConnectDowngradesToV1 scripts a protocol-v1-only server: it refuses the
+// client's v2 Hello with CodeVersionMismatch and welcomes the v1 redial. The
+// client must end up connected at version 1 — the compat path that keeps a
+// new client working against an old server.
+func TestConnectDowngradesToV1(t *testing.T) {
+	srv := newScriptServer(t, func(_ int64, nc net.Conn) {
+		msg, err := wire.ReadMessage(nc)
+		if err != nil {
+			t.Errorf("script server: reading Hello: %v", err)
+			return
+		}
+		hello, ok := msg.(*wire.Hello)
+		if !ok {
+			t.Errorf("script server: expected Hello, got %T", msg)
+			return
+		}
+		if hello.Version != 1 {
+			wire.WriteMessage(nc, &wire.Error{Code: wire.CodeVersionMismatch,
+				Message: "this server speaks protocol 1 only"})
+			return
+		}
+		wire.WriteMessage(nc, &wire.Welcome{Version: 1, Server: "v1-script"})
+		expectPeerClose(t, nc, "v1 conn after Close")
+	})
+	c, err := client.Connect(srv.addr())
+	if err != nil {
+		t.Fatalf("connect with downgrade: %v", err)
+	}
+	defer c.Close()
+	if got := c.Version(); got != 1 {
+		t.Errorf("Version() = %d, want 1", got)
+	}
+	if got := c.LastTraceID(); got != "" {
+		t.Errorf("LastTraceID() = %q before any query, want empty", got)
+	}
+	if n := srv.accepted.Load(); n != 2 {
+		t.Errorf("accepted %d connections, want 2 (v2 refusal + v1 success)", n)
 	}
 }
 
@@ -197,6 +242,8 @@ func TestConnectRetriesTransportFailure(t *testing.T) {
 
 // TestConnectDoesNotRetryVersionMismatch: a protocol-level refusal will fail
 // identically on every attempt, so the retry budget must not be spent on it.
+// The refusal costs exactly two connections — the v2 attempt plus the single
+// v1 downgrade redial — never the full retry budget.
 func TestConnectDoesNotRetryVersionMismatch(t *testing.T) {
 	srv := newScriptServer(t, func(_ int64, nc net.Conn) {
 		if !readHello(t, nc) {
@@ -213,8 +260,8 @@ func TestConnectDoesNotRetryVersionMismatch(t *testing.T) {
 	if !errors.As(err, &se) || se.Code != wire.CodeVersionMismatch {
 		t.Fatalf("err = %v, want CodeVersionMismatch ServerError", err)
 	}
-	if n := srv.accepted.Load(); n != 1 {
-		t.Errorf("accepted %d connections, want 1 (version mismatch is not retryable)", n)
+	if n := srv.accepted.Load(); n != 2 {
+		t.Errorf("accepted %d connections, want 2 (v2 + v1 downgrade, no further retries)", n)
 	}
 }
 

@@ -42,6 +42,13 @@ type DB struct {
 
 	metrics atomic.Pointer[obs.Registry]
 
+	// traceEvery is the plan-capture sampling rate: every Nth statement runs
+	// with instrumented operators and stashes its EXPLAIN ANALYZE tree on the
+	// trace. 1 = every statement, 0 = never. sampleTick is the statement
+	// counter the rate divides.
+	traceEvery atomic.Int64
+	sampleTick atomic.Uint64
+
 	// commitHook, when set, is invoked for every successfully applied
 	// mutating statement while the exclusive statement lock is still held —
 	// the engine's durability seam. See SetCommitHook.
@@ -62,7 +69,37 @@ type DB struct {
 func NewDB() *DB {
 	db := &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds}
 	db.metrics.Store(obs.NewRegistry())
+	db.traceEvery.Store(DefaultTraceSampling)
 	return db
+}
+
+// DefaultTraceSampling is the default plan-capture rate: one statement in 64
+// runs instrumented. Cheap enough to leave on in production (the acceptance
+// bar is <3% overhead on the benchmark probes) while still populating the
+// server's slow-query log with real operator actuals.
+const DefaultTraceSampling = 64
+
+// SetTraceSampling sets the plan-capture sampling rate: every nth statement
+// executes with instrumented operators and attaches its EXPLAIN ANALYZE tree
+// (per-operator actual rows/loops/time) to the statement trace. n = 1
+// instruments every statement, n = 0 disables capture entirely.
+func (db *DB) SetTraceSampling(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.traceEvery.Store(int64(n))
+}
+
+// TraceSampling reports the current plan-capture sampling rate.
+func (db *DB) TraceSampling() int { return int(db.traceEvery.Load()) }
+
+// sampleNow decides whether the statement starting now is a sampled one.
+func (db *DB) sampleNow() bool {
+	n := db.traceEvery.Load()
+	if n <= 0 {
+		return false
+	}
+	return db.sampleTick.Add(1)%uint64(n) == 0
 }
 
 // Metrics exposes the engine's metrics registry: query/error counters,
@@ -87,8 +124,11 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 //
 // sql is the statement's original text when it entered through ExecContext /
 // Session.ExecContext, and "" for pre-parsed statements (ExecStmtContext),
-// which a logging hook may refuse. The hook must not re-enter the DB.
-type CommitHook func(stmt Statement, sql string) error
+// which a logging hook may refuse. tr is the statement's live trace (never
+// nil): a WAL hook records wal_append/wal_fsync spans on it so the commit's
+// durability cost shows up in the query's end-to-end breakdown. The hook must
+// not re-enter the DB.
+type CommitHook func(stmt Statement, sql string, tr *obs.Trace) error
 
 // SetCommitHook installs hook (nil removes it). It is normally wired once at
 // boot, after recovery replay, so replayed statements are not re-logged.
@@ -257,7 +297,15 @@ func (db *DB) settings() Settings {
 // execSQL is the shared parse-then-execute driver behind DB.ExecContext and
 // Session.ExecContext; set is the caller's settings snapshot.
 func (db *DB) execSQL(ctx context.Context, sql string, set Settings) (*Result, error) {
-	tr := obs.NewTrace()
+	return db.execSQLTrace(ctx, sql, set, obs.NewTrace())
+}
+
+// execSQLTrace is execSQL recording onto a caller-provided trace — the
+// server threads each remote query's propagated trace through here, so the
+// engine's parse/plan/execute spans land on the same trace as the server's
+// wire-decode and streaming spans.
+func (db *DB) execSQLTrace(ctx context.Context, sql string, set Settings, tr *obs.Trace) (*Result, error) {
+	tr.SetState("parsing")
 	span := tr.StartSpan("parse")
 	stmt, err := Parse(sql)
 	span.End()
@@ -323,19 +371,38 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set
 		}
 		qc.batch = set.BatchSize
 		qc.alg = set.SGBAlgorithm
+		if qc.analyze = db.sampleNow(); qc.analyze {
+			m.Counter("engine_statements_sampled_total").Inc()
+		}
+		tr.SetState("executing")
 		if isReadOnly(stmt) {
 			db.mu.RLock()
 			res, err = db.execStmt(stmt, tr, qc)
 			db.mu.RUnlock()
 		} else {
 			db.mu.Lock()
+			// SELECT-ish statements record their own plan/execute spans inside
+			// execStmt; give every other write its execute span here so plain
+			// DML/DDL traces still cover the whole application phase.
+			var span *obs.Span
+			if ins, ok := stmt.(*InsertStmt); !ok || ins.Query == nil {
+				span = tr.StartSpan("execute")
+			}
 			res, err = db.execStmt(stmt, tr, qc)
+			if span != nil {
+				span.End()
+			}
 			// Durability seam: the statement has applied; log it before it
 			// can be acknowledged, while the exclusive lock still serializes
 			// the commit order against other writers and checkpoints.
 			if err == nil {
 				if hp := db.commitHook.Load(); hp != nil {
-					if herr := (*hp)(stmt, sql); herr != nil {
+					tr.SetState("committing")
+					hookStart := time.Now()
+					herr := (*hp)(stmt, sql, tr)
+					m.Histogram("engine_commit_hook_seconds", obs.DefBuckets).
+						Observe(time.Since(hookStart).Seconds())
+					if herr != nil {
 						m.Counter("engine_commit_hook_failures_total").Inc()
 						err = &DurabilityError{Err: herr}
 					}
@@ -446,9 +513,24 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 		var rows []Row
 		if stmt.Query != nil {
 			pc := &planContext{db: db, qc: qc}
-			qrows, _, err := pc.run(stmt.Query)
+			span := tr.StartSpan("plan")
+			op, err := pc.planSelect(stmt.Query)
+			span.End()
 			if err != nil {
 				return nil, err
+			}
+			root := op
+			if qc != nil && qc.analyze {
+				root = instrument(op)
+			}
+			span = tr.StartSpan("execute")
+			qrows, err := materialize(root, qc)
+			span.End()
+			if err != nil {
+				return nil, err
+			}
+			if qc != nil && qc.analyze {
+				tr.SetPlan(explainPlan(root))
 			}
 			rows = make([]Row, len(qrows))
 			for i, row := range qrows {
@@ -679,15 +761,24 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 		if err != nil {
 			return nil, err
 		}
+		// A sampled statement runs the instrumented tree, so its trace carries
+		// the EXPLAIN ANALYZE rendering with per-operator actuals.
+		root := op
+		if qc != nil && qc.analyze {
+			root = instrument(op)
+		}
 		span = tr.StartSpan("execute")
 		execStart := time.Now()
-		rows, err := materialize(op, qc)
+		rows, err := materialize(root, qc)
 		execDur := time.Since(execStart)
 		span.End()
 		if err != nil {
 			return nil, err
 		}
 		db.recordQueryMetrics(pc, tr, execDur, len(rows))
+		if qc != nil && qc.analyze {
+			tr.SetPlan(explainPlan(root))
+		}
 		return &Result{Columns: op.schema().Names(), Rows: rows}, nil
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+
+	"sgb/internal/obs"
 )
 
 // TestCommitHookFiresForWrites pins the hook contract: every successful
@@ -17,7 +19,7 @@ func TestCommitHookFiresForWrites(t *testing.T) {
 		kind string
 	}
 	var calls []call
-	db.SetCommitHook(func(stmt Statement, sql string) error {
+	db.SetCommitHook(func(stmt Statement, sql string, _ *obs.Trace) error {
 		calls = append(calls, call{sql: sql, kind: fmt.Sprintf("%T", stmt)})
 		return nil
 	})
@@ -69,7 +71,7 @@ func TestCommitHookFiresForWrites(t *testing.T) {
 func TestCommitHookSkippedOnFailure(t *testing.T) {
 	db := NewDB()
 	hooked := 0
-	db.SetCommitHook(func(Statement, string) error { hooked++; return nil })
+	db.SetCommitHook(func(Statement, string, *obs.Trace) error { hooked++; return nil })
 	if _, err := db.Exec("INSERT INTO missing VALUES (1)"); err == nil {
 		t.Fatal("insert into missing table succeeded")
 	}
@@ -83,7 +85,7 @@ func TestCommitHookSkippedOnFailure(t *testing.T) {
 func TestCommitHookFailureSurfaces(t *testing.T) {
 	db := NewDB()
 	boom := errors.New("disk full")
-	db.SetCommitHook(func(Statement, string) error { return boom })
+	db.SetCommitHook(func(Statement, string, *obs.Trace) error { return boom })
 	_, err := db.Exec("CREATE TABLE t (x INT)")
 	var de *DurabilityError
 	if !errors.As(err, &de) || !errors.Is(err, boom) {
@@ -104,7 +106,7 @@ func TestCommitHookFailureSurfaces(t *testing.T) {
 func TestCommitHookSessionPath(t *testing.T) {
 	db := NewDB()
 	var got []string
-	db.SetCommitHook(func(_ Statement, sql string) error { got = append(got, sql); return nil })
+	db.SetCommitHook(func(_ Statement, sql string, _ *obs.Trace) error { got = append(got, sql); return nil })
 	sess := db.NewSession()
 	if _, err := sess.Exec("CREATE TABLE s (x INT)"); err != nil {
 		t.Fatal(err)
@@ -136,7 +138,7 @@ func TestSaveLockedConsistency(t *testing.T) {
 		t.Fatal(err)
 	}
 	commits := 0
-	db.SetCommitHook(func(Statement, string) error { commits++; return nil })
+	db.SetCommitHook(func(Statement, string, *obs.Trace) error { commits++; return nil })
 	for i := 0; i < 5; i++ {
 		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
 			t.Fatal(err)

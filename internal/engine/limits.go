@@ -59,9 +59,13 @@ type queryCtx struct {
 	batch   int   // batch/morsel row count; <=0 = defaultBatchSize
 	// alg is the statement's SGB physical algorithm, resolved from the
 	// session settings when the statement starts.
-	alg   core.Algorithm
-	rows  atomic.Int64
-	calls atomic.Uint64
+	alg core.Algorithm
+	// analyze marks a trace-sampled statement: the executor wraps the plan in
+	// instrumented operators and stashes the EXPLAIN ANALYZE tree on the
+	// statement trace (see DB.SetTraceSampling).
+	analyze bool
+	rows    atomic.Int64
+	calls   atomic.Uint64
 }
 
 func newQueryCtx(ctx context.Context, lim Limits) *queryCtx {

@@ -107,6 +107,15 @@ func (s *Session) ExecContext(ctx context.Context, sql string) (*Result, error) 
 	return s.db.execSQL(ctx, sql, s.Settings())
 }
 
+// ExecContextTrace is ExecContext recording onto a caller-provided trace.
+// The network server passes the trace carrying the query's propagated trace
+// ID here, so engine spans (parse/plan/execute) and commit-hook spans (WAL
+// append/fsync) join the server's wire-level spans on one trace. tr must not
+// be nil.
+func (s *Session) ExecContextTrace(ctx context.Context, sql string, tr *obs.Trace) (*Result, error) {
+	return s.db.execSQLTrace(ctx, sql, s.Settings(), tr)
+}
+
 // ExecStmtContext executes an already parsed statement under the session's
 // settings.
 func (s *Session) ExecStmtContext(ctx context.Context, stmt Statement) (*Result, error) {

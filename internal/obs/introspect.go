@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// This file holds the JSON shapes the server's live-introspection surfaces
+// share with clients: the process list (/debug/queries, \processlist) and the
+// slow-query log (/debug/slowlog, \slowlog). They live in obs — not in
+// internal/server — so internal/client can unmarshal them without importing
+// the server.
+
+// SpanInfo is one completed span of a trace, flattened for JSON.
+type SpanInfo struct {
+	Name  string  `json:"name"`
+	DurMS float64 `json:"dur_ms"`
+}
+
+// TraceSnapshot is a frozen Trace: identifier, span timings, notes, and —
+// when the statement ran instrumented — the EXPLAIN ANALYZE plan lines.
+type TraceSnapshot struct {
+	ID    string     `json:"trace_id,omitempty"`
+	Spans []SpanInfo `json:"spans,omitempty"`
+	Notes []string   `json:"notes,omitempty"`
+	Plan  []string   `json:"plan,omitempty"`
+}
+
+// QueryInfo is one in-flight query in the server's process list.
+type QueryInfo struct {
+	TraceID   string  `json:"trace_id,omitempty"`
+	Client    string  `json:"client"`
+	SQL       string  `json:"sql"`
+	State     string  `json:"state"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	StartedAt string  `json:"started_at"`
+}
+
+// SlowQuery is one finished statement captured by the slow-query log.
+type SlowQuery struct {
+	TraceID    string        `json:"trace_id,omitempty"`
+	Client     string        `json:"client"`
+	SQL        string        `json:"sql"`
+	Settings   string        `json:"settings,omitempty"`
+	ElapsedMS  float64       `json:"elapsed_ms"`
+	Rows       int64         `json:"rows"`
+	Err        string        `json:"error,omitempty"`
+	FinishedAt string        `json:"finished_at"`
+	Trace      TraceSnapshot `json:"trace"`
+}
+
+// SlowLog is a fixed-capacity ring buffer of SlowQuery entries: the newest
+// entries overwrite the oldest once the capacity is reached. Safe for
+// concurrent use.
+type SlowLog struct {
+	mu   sync.Mutex
+	buf  []SlowQuery
+	next int // index the next Add writes to
+	full bool
+}
+
+// NewSlowLog returns a slowlog holding at most capacity entries (minimum 1).
+func NewSlowLog(capacity int) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{buf: make([]SlowQuery, capacity)}
+}
+
+// Add appends an entry, evicting the oldest when full. The FinishedAt stamp
+// is filled in if the caller left it empty.
+func (l *SlowLog) Add(q SlowQuery) {
+	if q.FinishedAt == "" {
+		q.FinishedAt = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	l.mu.Lock()
+	l.buf[l.next] = q
+	l.next++
+	if l.next == len(l.buf) {
+		l.next, l.full = 0, true
+	}
+	l.mu.Unlock()
+}
+
+// Entries returns the captured queries, newest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.next
+	if l.full {
+		n = len(l.buf)
+	}
+	out := make([]SlowQuery, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk backwards from the slot before next, wrapping.
+		idx := (l.next - 1 - i + len(l.buf)) % len(l.buf)
+		out = append(out, l.buf[idx])
+	}
+	return out
+}
+
+// Find returns the newest entry with the given trace ID.
+func (l *SlowLog) Find(traceID string) (SlowQuery, bool) {
+	if traceID == "" {
+		return SlowQuery{}, false
+	}
+	for _, q := range l.Entries() {
+		if q.TraceID == traceID {
+			return q, true
+		}
+	}
+	return SlowQuery{}, false
+}
+
+// Len reports how many entries are currently held.
+func (l *SlowLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.full {
+		return len(l.buf)
+	}
+	return l.next
+}

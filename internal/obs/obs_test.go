@@ -117,12 +117,12 @@ func TestTrace(t *testing.T) {
 	s := tr.StartSpan("parse")
 	time.Sleep(time.Millisecond)
 	s.End()
-	first := s.Dur
+	first := s.Duration()
 	if first <= 0 {
 		t.Fatal("span duration not recorded")
 	}
 	s.End() // second End keeps the first duration
-	if s.Dur != first {
+	if s.Duration() != first {
 		t.Fatal("double End overwrote the duration")
 	}
 	tr.StartSpan("execute").End()
@@ -135,5 +135,157 @@ func TestTrace(t *testing.T) {
 	}
 	if len(tr.Spans()) != 2 || len(tr.Notes()) != 1 {
 		t.Fatalf("spans=%d notes=%d", len(tr.Spans()), len(tr.Notes()))
+	}
+}
+
+func TestTraceID(t *testing.T) {
+	id := NewTraceID()
+	if !ValidTraceID(id) {
+		t.Fatalf("NewTraceID produced invalid id %q", id)
+	}
+	if id2 := NewTraceID(); id2 == id {
+		t.Fatalf("two trace IDs collided: %q", id)
+	}
+	for _, bad := range []string{"", "short", "0123456789abcdeF", "0123456789abcdefg", "0123456789ABCDEF", "xyzw456789abcdef", "0123456789abcde "} {
+		if ValidTraceID(bad) {
+			t.Errorf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+	tr := NewTraceWithID(id)
+	if tr.ID() != id {
+		t.Fatalf("trace ID = %q, want %q", tr.ID(), id)
+	}
+	if NewTrace().ID() != "" {
+		t.Fatal("untraced trace has non-empty ID")
+	}
+}
+
+func TestTraceStateAndPlan(t *testing.T) {
+	tr := NewTrace()
+	if tr.State() != "" {
+		t.Fatalf("initial state = %q", tr.State())
+	}
+	tr.SetState("executing")
+	if tr.State() != "executing" {
+		t.Fatalf("state = %q, want executing", tr.State())
+	}
+	tr.SetPlan([]string{"HashSGB", "  Scan t"})
+	plan := tr.Plan()
+	if len(plan) != 2 || plan[0] != "HashSGB" {
+		t.Fatalf("plan = %v", plan)
+	}
+	tr.AddSpan("wire_decode", time.Now(), 3*time.Millisecond)
+	snap := tr.Snapshot()
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "wire_decode" || snap.Spans[0].DurMS != 3 {
+		t.Fatalf("snapshot spans = %+v", snap.Spans)
+	}
+	if len(snap.Plan) != 2 {
+		t.Fatalf("snapshot plan = %v", snap.Plan)
+	}
+}
+
+// TestTraceConcurrency pins the goroutine-safety of Trace/Span: parallel
+// morsel workers, the WAL flush path, and the server's process-list reader
+// all touch a live trace. Run under -race in CI.
+func TestTraceConcurrency(t *testing.T) {
+	tr := NewTraceWithID(NewTraceID())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				s := tr.StartSpan("work")
+				tr.Annotate("worker=%d iter=%d", n, j)
+				tr.SetState("executing")
+				s.End()
+				tr.AddSpan("ext", time.Now(), time.Microsecond)
+				tr.SetPlan([]string{"op"})
+				_ = tr.State()
+				_ = tr.Spans()
+				_ = tr.Notes()
+				_ = tr.Plan()
+				_ = tr.String()
+				_ = tr.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 8*200*2 {
+		t.Fatalf("spans = %d, want %d", got, 8*200*2)
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	if l.Len() != 0 {
+		t.Fatalf("empty len = %d", l.Len())
+	}
+	for i := 1; i <= 5; i++ {
+		l.Add(SlowQuery{SQL: string(rune('a' + i - 1)), TraceID: NewTraceID()})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	got := l.Entries()
+	// Newest first: e, d, c survive; a and b were evicted.
+	want := []string{"e", "d", "c"}
+	for i, w := range want {
+		if got[i].SQL != w {
+			t.Fatalf("entries[%d].SQL = %q, want %q (all: %+v)", i, got[i].SQL, w, got)
+		}
+	}
+	if got[0].FinishedAt == "" {
+		t.Fatal("Add did not stamp FinishedAt")
+	}
+	q, ok := l.Find(got[1].TraceID)
+	if !ok || q.SQL != "d" {
+		t.Fatalf("Find = %+v, %v", q, ok)
+	}
+	if _, ok := l.Find("0000000000000000"); ok {
+		t.Fatal("Find matched a missing trace ID")
+	}
+	if _, ok := l.Find(""); ok {
+		t.Fatal("Find matched the empty trace ID")
+	}
+}
+
+func TestSlowLogConcurrency(t *testing.T) {
+	l := NewSlowLog(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				l.Add(SlowQuery{SQL: "select 1"})
+				_ = l.Entries()
+				_ = l.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 16 {
+		t.Fatalf("len = %d, want 16", l.Len())
+	}
+}
+
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge(`sgbd_build_info{version="v6",go="go1.24",fsync="always"}`).Set(1)
+	r.Gauge(`sgbd_build_info{version="v7",go="go1.24",fsync="never"}`).Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE sgbd_build_info gauge"); got != 1 {
+		t.Fatalf("want exactly one TYPE line for the labeled family, got %d:\n%s", got, out)
+	}
+	if !strings.Contains(out, `sgbd_build_info{version="v6",go="go1.24",fsync="always"} 1`) {
+		t.Fatalf("labeled sample missing:\n%s", out)
+	}
+	if strings.Contains(out, `# TYPE sgbd_build_info{`) {
+		t.Fatalf("TYPE line leaked labels:\n%s", out)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -220,11 +221,20 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	typed := make(map[string]bool)
 	for _, name := range sortedKeys(s.Counters) {
-		pf("# TYPE %s counter\n%s %d\n", name, name, s.Counters[name])
+		if fam := metricFamily(name); !typed[fam] {
+			typed[fam] = true
+			pf("# TYPE %s counter\n", fam)
+		}
+		pf("%s %d\n", name, s.Counters[name])
 	}
 	for _, name := range sortedKeys(s.Gauges) {
-		pf("# TYPE %s gauge\n%s %v\n", name, name, s.Gauges[name])
+		if fam := metricFamily(name); !typed[fam] {
+			typed[fam] = true
+			pf("# TYPE %s gauge\n", fam)
+		}
+		pf("%s %v\n", name, s.Gauges[name])
 	}
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
@@ -236,6 +246,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		pf("%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count)
 	}
 	return err
+}
+
+// metricFamily strips a label set ("name{k=\"v\"}") down to the metric family
+// name the # TYPE line must use. Labeled series of one family (e.g.
+// sgbd_build_info{version="..."}) then share a single TYPE line.
+func metricFamily(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }
 
 func sortedKeys[V any](m map[string]V) []string {

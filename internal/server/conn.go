@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -28,6 +29,9 @@ type conn struct {
 	nc   net.Conn
 	br   *bufio.Reader
 	sess *engine.Session
+	// version is the negotiated protocol version for this connection
+	// (min(client, server), set by the handshake).
+	version uint32
 
 	// ctx is the connection's force-close signal: canceling it aborts the
 	// in-flight statement and terminates the session loop.
@@ -45,6 +49,9 @@ type conn struct {
 
 type readResult struct {
 	msg wire.Message
+	// dur is the frame's wire-decode time (read + decode, excluding idle
+	// wait), recorded as the query's wire_decode span.
+	dur time.Duration
 	err error
 }
 
@@ -103,10 +110,15 @@ func (c *conn) serve() {
 			return
 		case rr := <-c.in:
 			if rr.err != nil {
+				// A malformed trace ID is a typed decode failure worth naming
+				// to the client before the (now desynced) stream closes.
+				if errors.Is(rr.err, wire.ErrBadTraceID) {
+					c.writeMsg(&wire.Error{Code: wire.CodeProtocol, Message: rr.err.Error()})
+				}
 				return
 			}
 			c.clearDeadline()
-			if !c.dispatch(rr.msg) {
+			if !c.dispatch(rr) {
 				return
 			}
 		}
@@ -128,21 +140,25 @@ func (c *conn) handshake() error {
 			Message: fmt.Sprintf("expected Hello, got %T", msg)})
 		return errors.New("server: bad handshake")
 	}
-	if hello.Version != wire.Version {
+	if hello.Version < wire.MinVersion || hello.Version > wire.Version {
 		c.writeMsg(&wire.Error{Code: wire.CodeVersionMismatch,
-			Message: fmt.Sprintf("client speaks protocol %d, server speaks %d", hello.Version, wire.Version)})
+			Message: fmt.Sprintf("client speaks protocol %d, server speaks %d-%d",
+				hello.Version, wire.MinVersion, wire.Version)})
 		return errors.New("server: version mismatch")
 	}
-	return c.writeMsg(&wire.Welcome{Version: wire.Version, Server: c.srv.cfg.ServerName})
+	// The conversation runs at the client's version (never above ours, by the
+	// check above); Welcome echoes it so the client knows what was agreed.
+	c.version = hello.Version
+	return c.writeMsg(&wire.Welcome{Version: c.version, Server: c.srv.cfg.ServerName})
 }
 
 // readLoop feeds decoded frames to the session loop until the connection
 // errors or the session loop exits.
 func (c *conn) readLoop() {
 	for {
-		msg, err := wire.ReadMessage(c.br)
+		msg, dur, err := wire.ReadMessageTimed(c.br)
 		select {
-		case c.in <- readResult{msg, err}:
+		case c.in <- readResult{msg, dur, err}:
 			if err != nil {
 				return
 			}
@@ -169,10 +185,10 @@ func (c *conn) clearDeadline() {
 }
 
 // dispatch handles one idle-state frame; false terminates the connection.
-func (c *conn) dispatch(msg wire.Message) bool {
-	switch m := msg.(type) {
+func (c *conn) dispatch(rr readResult) bool {
+	switch m := rr.msg.(type) {
 	case *wire.Query:
-		return c.runQuery(m.SQL)
+		return c.runQuery(m, rr.dur)
 	case *wire.Set:
 		return c.applySetting(m)
 	case *wire.Ping:
@@ -183,6 +199,8 @@ func (c *conn) dispatch(msg wire.Message) bool {
 			return c.writeMsg(&wire.Error{Code: wire.CodeInternal, Message: err.Error()}) == nil
 		}
 		return c.writeMsg(&wire.StatsText{Text: sb.String()}) == nil
+	case *wire.Introspect:
+		return c.introspect(m)
 	case *wire.Cancel:
 		// Nothing in flight; a late Cancel for a query that already
 		// finished is legal and ignored.
@@ -191,20 +209,62 @@ func (c *conn) dispatch(msg wire.Message) bool {
 		return false
 	default:
 		c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
-			Message: fmt.Sprintf("unexpected %T", msg)})
+			Message: fmt.Sprintf("unexpected %T", rr.msg)})
 		return false
 	}
 }
 
+// introspect answers an Introspect request with the process list or slowlog
+// as JSON. Available at any negotiated version — the message type is new, so
+// a v1 client simply never sends it.
+func (c *conn) introspect(m *wire.Introspect) bool {
+	var v any
+	switch m.What {
+	case wire.IntrospectProcessList:
+		v = c.srv.ProcessList()
+	case wire.IntrospectSlowLog:
+		v = c.srv.SlowLog().Entries()
+	default:
+		return c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("unknown introspection target %q", m.What)}) == nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return c.writeMsg(&wire.Error{Code: wire.CodeInternal, Message: err.Error()}) == nil
+	}
+	return c.writeMsg(&wire.IntrospectResult{What: m.What, JSON: string(b)}) == nil
+}
+
 // runQuery executes one statement on the session while concurrently watching
 // the wire for Cancel. It reports false when the connection must close.
-func (c *conn) runQuery(sql string) bool {
+//
+// This is where the end-to-end trace assembles: the client's propagated trace
+// ID (or a server-minted one for untraced/v1 clients) heads a trace that
+// accumulates the frame's wire_decode span, the engine's parse/plan/execute
+// spans, the WAL's wal_append/wal_fsync spans from the commit hook, and
+// finally the row-streaming span — then lands in the slowlog.
+func (c *conn) runQuery(q *wire.Query, decodeDur time.Duration) bool {
 	qctx, qcancel := context.WithCancel(c.ctx)
 	defer qcancel()
 
-	active := c.srv.db.Metrics().Gauge("server_sessions_active")
+	m := c.srv.db.Metrics()
+	active := m.Gauge("server_sessions_active")
 	active.Add(1)
 	defer active.Add(-1)
+
+	id := q.TraceID
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	tr := obs.NewTraceWithID(id)
+	start := time.Now()
+	tr.AddSpan("wire_decode", start.Add(-decodeDur), decodeDur)
+	m.Histogram("server_wire_decode_seconds", obs.DefBuckets).Observe(decodeDur.Seconds())
+	tr.SetState("parsing")
+
+	entry := &procEntry{tr: tr, client: c.nc.RemoteAddr().String(), sql: q.SQL, start: start}
+	c.srv.trackQuery(entry)
+	defer c.srv.untrackQuery(entry)
 
 	type execResult struct {
 		res *engine.Result
@@ -212,18 +272,42 @@ func (c *conn) runQuery(sql string) bool {
 	}
 	resCh := make(chan execResult, 1)
 	go func() {
-		res, err := c.sess.ExecContext(qctx, sql)
+		res, err := c.sess.ExecContextTrace(qctx, q.SQL, tr)
 		resCh <- execResult{res, err}
 	}()
+
+	// finish streams the outcome (rows or error) and records the statement in
+	// the latency histograms and, past the threshold, the slowlog.
+	finish := func(res *engine.Result, execErr error, connFatal bool) bool {
+		execDur := time.Since(start)
+		m.Histogram("server_wire_execute_seconds", obs.DefBuckets).Observe(execDur.Seconds())
+		var werr error
+		var rows int64
+		if execErr != nil {
+			if !connFatal {
+				werr = c.writeQueryError(execErr)
+			}
+		} else {
+			rows = int64(len(res.Rows))
+			if !connFatal {
+				tr.SetState("streaming")
+				span := tr.StartSpan("stream")
+				werr = c.streamResult(res)
+				span.End()
+				m.Histogram("server_wire_stream_seconds", obs.DefBuckets).
+					Observe(span.Duration().Seconds())
+			}
+		}
+		tr.SetState("done")
+		c.srv.recordFinished(entry, c.settingsString(), time.Since(start), rows, execErr)
+		return !connFatal && werr == nil
+	}
 
 	connFatal := false
 	for {
 		select {
 		case r := <-resCh:
-			if r.err != nil {
-				return !connFatal && c.writeQueryError(r.err) == nil
-			}
-			return !connFatal && c.streamResult(r.res) == nil
+			return finish(r.res, r.err, connFatal)
 		case <-c.ctx.Done():
 			// Force shutdown: the query context is already canceled; wait
 			// for the executor goroutine, then drop the connection.
@@ -354,6 +438,27 @@ func (c *conn) applySetting(m *wire.Set) bool {
 // (the only writer), so no extra locking is needed here.
 func (c *conn) writeMsg(m wire.Message) error {
 	return wire.WriteMessage(c.nc, m)
+}
+
+// settingsString summarizes the session knobs that shaped a statement's plan,
+// recorded alongside the statement in the slowlog.
+func (c *conn) settingsString() string {
+	st := c.sess.Settings()
+	return fmt.Sprintf("algorithm=%s parallelism=%d batch_size=%d",
+		algName(st.SGBAlgorithm), st.Parallelism, st.BatchSize)
+}
+
+// algName is the inverse of parseAlgorithm.
+func algName(a core.Algorithm) string {
+	switch a {
+	case core.AllPairs:
+		return "allpairs"
+	case core.BoundsChecking:
+		return "bounds"
+	case core.IndexBounds:
+		return "index"
+	}
+	return fmt.Sprintf("alg(%d)", a)
 }
 
 // parseAlgorithm maps the wire spelling onto the core enum.

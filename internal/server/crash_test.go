@@ -21,7 +21,10 @@ import (
 type sgbdProc struct {
 	cmd  *exec.Cmd
 	addr string
-	out  *bufio.Scanner
+	// metricsURL is the /metrics endpoint ("" when -metrics-addr is empty);
+	// its host:port also serves /debug/queries, /debug/slowlog, /debug/pprof/.
+	metricsURL string
+	out        *bufio.Scanner
 }
 
 // buildSgbd compiles the daemon once per test binary.
@@ -59,8 +62,13 @@ func startSgbd(t *testing.T, dataDir string, extra ...string) *sgbdProc {
 	deadline := time.After(30 * time.Second)
 	got := make(chan string, 1)
 	go func() {
+		// The metrics line (when enabled) prints before the listen line.
 		for p.out.Scan() {
 			line := p.out.Text()
+			if u, ok := strings.CutPrefix(line, "metrics on "); ok {
+				p.metricsURL = u
+				continue
+			}
 			if a, ok := strings.CutPrefix(line, "listening on "); ok {
 				got <- a
 				break
@@ -98,7 +106,7 @@ func TestCrashRecoveryKill9(t *testing.T) {
 		t.Skip("SIGKILL semantics")
 	}
 	dataDir := t.TempDir()
-	p := startSgbd(t, dataDir)
+	p := startSgbd(t, dataDir, "-metrics-addr", "127.0.0.1:0")
 	defer p.cmd.Process.Kill()
 
 	setup, err := client.Connect(p.addr)
@@ -109,6 +117,15 @@ func TestCrashRecoveryKill9(t *testing.T) {
 		t.Fatal(err)
 	}
 	setup.Close()
+
+	// With at least one durable commit down, the durability telemetry must be
+	// live on /metrics: fsync latency observed, checkpoint lag tracked.
+	metrics := string(httpGet(t, p.metricsURL))
+	for _, want := range []string{"wal_fsync_seconds_count", "checkpoint_lag_seq", "checkpoint_lag_seconds"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s before the crash", want)
+		}
+	}
 
 	// Concurrent ingest: each worker owns a connection and an id range, and
 	// counts a statement only once the server acknowledged it.

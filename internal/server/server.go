@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"sgb/internal/engine"
+	"sgb/internal/obs"
 	"sgb/internal/wire"
 )
 
@@ -41,7 +42,16 @@ type Config struct {
 	// ServerName is the identification string in the Welcome handshake.
 	// Empty means "sgbd".
 	ServerName string
+	// SlowQueryThreshold selects which finished statements enter the
+	// slow-query log: those at least this slow. 0 logs every statement;
+	// negative disables the slowlog entirely.
+	SlowQueryThreshold time.Duration
+	// SlowLogSize is the slow-query ring buffer capacity; 0 means 128.
+	SlowLogSize int
 }
+
+// defaultSlowLogSize is the slow-query ring capacity when Config leaves it 0.
+const defaultSlowLogSize = 128
 
 // Server is a running sgbd listener. Create with New, start with Start.
 type Server struct {
@@ -52,6 +62,12 @@ type Server struct {
 	mu       sync.Mutex
 	conns    map[*conn]struct{}
 	draining bool
+
+	// procMu guards the process list of in-flight queries; slowlog is the
+	// finished-query ring buffer (internally synchronized).
+	procMu  sync.Mutex
+	procs   map[*procEntry]struct{}
+	slowlog *obs.SlowLog
 
 	wg sync.WaitGroup // accept loop + one goroutine per connection
 }
@@ -65,7 +81,16 @@ func New(db *engine.DB, cfg Config) *Server {
 	if cfg.ServerName == "" {
 		cfg.ServerName = "sgbd"
 	}
-	return &Server{cfg: cfg, db: db, conns: make(map[*conn]struct{})}
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = defaultSlowLogSize
+	}
+	return &Server{
+		cfg:     cfg,
+		db:      db,
+		conns:   make(map[*conn]struct{}),
+		procs:   make(map[*procEntry]struct{}),
+		slowlog: obs.NewSlowLog(cfg.SlowLogSize),
+	}
 }
 
 // DB returns the shared database the server serves.
@@ -88,6 +113,10 @@ func (s *Server) Start() error {
 	m.Gauge("server_sessions_active")
 	m.Counter("server_bytes_in_total")
 	m.Counter("server_bytes_out_total")
+	m.Counter("server_slow_queries_total")
+	m.Histogram("server_wire_decode_seconds", obs.DefBuckets)
+	m.Histogram("server_wire_execute_seconds", obs.DefBuckets)
+	m.Histogram("server_wire_stream_seconds", obs.DefBuckets)
 
 	s.wg.Add(1)
 	go s.acceptLoop()

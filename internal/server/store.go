@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgb/internal/engine"
@@ -69,6 +70,13 @@ type Store struct {
 	// ckptMu serializes checkpoints (background timer vs Close vs manual).
 	ckptMu   sync.Mutex
 	replayed int
+
+	// ckptSeq is the WAL sequence the latest durable checkpoint covers;
+	// firstUncoveredNS is the unix-nano timestamp of the first commit after
+	// that checkpoint (0 = the checkpoint covers everything). Together they
+	// drive the checkpoint_lag_seq / checkpoint_lag_seconds gauges.
+	ckptSeq          atomic.Uint64
+	firstUncoveredNS atomic.Int64
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -141,20 +149,33 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		return nil, fmt.Errorf("server: opening wal in %s: %w", opts.Dir, err)
 	}
 	s.log = log
+	s.ckptSeq.Store(seq)
 	s.updateSegmentGauge()
+	s.updateLagGauges()
 
-	db.SetCommitHook(func(stmt engine.Statement, sql string) error {
+	db.SetCommitHook(func(stmt engine.Statement, sql string, tr *obs.Trace) error {
 		if !loggedStatement(stmt) {
 			return nil
 		}
 		if sql == "" {
 			return errors.New("server: cannot log a pre-parsed statement; execute SQL text")
 		}
-		if _, err := s.log.Append(wal.KindStatement, []byte(sql)); err != nil {
+		appendStart := time.Now()
+		_, syncDur, err := s.log.AppendSynced(wal.KindStatement, []byte(sql))
+		if err != nil {
 			return err
 		}
+		// Attribute the durability cost to the committing statement's trace:
+		// wal_append is the record write, wal_fsync the inline fsync (zero
+		// duration under interval/never policies, where no fsync blocks the
+		// commit).
+		total := time.Since(appendStart)
+		tr.AddSpan("wal_append", appendStart, total-syncDur)
+		tr.AddSpan("wal_fsync", appendStart.Add(total-syncDur), syncDur)
 		m.Counter("wal_appends_total").Inc()
 		m.Counter("wal_append_bytes_total").Add(int64(len(sql)))
+		s.firstUncoveredNS.CompareAndSwap(0, time.Now().UnixNano())
+		m.Gauge("checkpoint_lag_seq").Set(float64(s.log.LastSeq() - s.ckptSeq.Load()))
 		return nil
 	})
 
@@ -162,6 +183,8 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		s.wg.Add(1)
 		go s.checkpointLoop()
 	}
+	s.wg.Add(1)
+	go s.lagLoop()
 	return s, nil
 }
 
@@ -263,6 +286,16 @@ func (s *Store) Checkpoint() error {
 		return err
 	}
 	s.updateSegmentGauge()
+	s.ckptSeq.Store(seq)
+	// If commits landed while the snapshot was being written they remain
+	// uncovered; restart the lag clock at the checkpoint instant rather than
+	// keeping the older stamp.
+	if s.log.LastSeq() == seq {
+		s.firstUncoveredNS.Store(0)
+	} else {
+		s.firstUncoveredNS.Store(time.Now().UnixNano())
+	}
+	s.updateLagGauges()
 	m.Counter("checkpoints_total").Inc()
 	m.Gauge("checkpoint_last_seq").Set(float64(seq))
 	m.Histogram("checkpoint_seconds", obs.DefBuckets).Observe(time.Since(start).Seconds())
@@ -298,6 +331,39 @@ func (s *Store) updateSegmentGauge() {
 	}
 }
 
+// updateLagGauges refreshes the durability-telemetry gauges: how far the log
+// has run ahead of the last checkpoint (in records and in seconds) and the
+// log's on-disk footprint.
+func (s *Store) updateLagGauges() {
+	m := s.db.Metrics()
+	m.Gauge("checkpoint_lag_seq").Set(float64(s.log.LastSeq() - s.ckptSeq.Load()))
+	var lagSec float64
+	if ns := s.firstUncoveredNS.Load(); ns > 0 {
+		lagSec = time.Since(time.Unix(0, ns)).Seconds()
+	}
+	m.Gauge("checkpoint_lag_seconds").Set(lagSec)
+	if n, err := s.log.SizeBytes(); err == nil {
+		m.Gauge("wal_size_bytes").Set(float64(n))
+	}
+}
+
+// lagLoop keeps the checkpoint-lag and WAL-size gauges fresh between
+// commits, so an idle-but-behind server still reports its true lag.
+func (s *Store) lagLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.updateLagGauges()
+			s.updateSegmentGauge()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
 // checkpointLoop is the background checkpointer.
 func (s *Store) checkpointLoop() {
 	defer s.wg.Done()
@@ -328,7 +394,7 @@ func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
-		s.db.SetCommitHook(func(stmt engine.Statement, _ string) error {
+		s.db.SetCommitHook(func(stmt engine.Statement, _ string, _ *obs.Trace) error {
 			if !loggedStatement(stmt) {
 				return nil
 			}

@@ -31,6 +31,8 @@ type FS interface {
 	// SyncDir fsyncs the directory itself, making created/renamed/removed
 	// entries durable.
 	SyncDir(dir string) error
+	// Size reports name's current size in bytes (for the WAL size gauge).
+	Size(name string) (int64, error)
 }
 
 // File is one open WAL file. Segments are written append-only and read
@@ -68,8 +70,16 @@ func (osFS) ReadDir(dir string) ([]string, error) {
 	return names, nil
 }
 
-func (osFS) Remove(name string) error              { return os.Remove(name) }
-func (osFS) Rename(oldname, newname string) error  { return os.Rename(oldname, newname) }
+func (osFS) Size(name string) (int64, error) {
+	st, err := os.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func (osFS) Remove(name string) error               { return os.Remove(name) }
+func (osFS) Rename(oldname, newname string) error   { return os.Rename(oldname, newname) }
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 func (osFS) SyncDir(dir string) error {
@@ -136,12 +146,13 @@ func (f *FaultFS) Create(name string) (File, error) {
 	return &faultFile{File: file, fs: f}, nil
 }
 
-func (f *FaultFS) Open(name string) (File, error)            { return f.inner.Open(name) }
-func (f *FaultFS) ReadDir(dir string) ([]string, error)      { return f.inner.ReadDir(dir) }
-func (f *FaultFS) Remove(name string) error                  { return f.inner.Remove(name) }
-func (f *FaultFS) Rename(oldname, newname string) error      { return f.inner.Rename(oldname, newname) }
-func (f *FaultFS) Truncate(name string, size int64) error    { return f.inner.Truncate(name, size) }
-func (f *FaultFS) SyncDir(dir string) error                  { return f.inner.SyncDir(dir) }
+func (f *FaultFS) Open(name string) (File, error)         { return f.inner.Open(name) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error)   { return f.inner.ReadDir(dir) }
+func (f *FaultFS) Remove(name string) error               { return f.inner.Remove(name) }
+func (f *FaultFS) Rename(oldname, newname string) error   { return f.inner.Rename(oldname, newname) }
+func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
+func (f *FaultFS) SyncDir(dir string) error               { return f.inner.SyncDir(dir) }
+func (f *FaultFS) Size(name string) (int64, error)        { return f.inner.Size(name) }
 
 // checkWrite advances the write counter and reports whether this call must
 // fail, and if so whether it should tear (short-write) first.

@@ -234,13 +234,22 @@ func (l *Log) startSegment() error {
 // Append writes one record and, under SyncAlways, makes it durable before
 // returning. The returned sequence number identifies the record in replay.
 func (l *Log) Append(kind byte, data []byte) (uint64, error) {
+	seq, _, err := l.AppendSynced(kind, data)
+	return seq, err
+}
+
+// AppendSynced is Append reporting how long the record's fsync took (zero
+// when the policy does not fsync inline). The serving layer records the
+// duration as a wal_fsync span on the committing query's trace, attributing
+// durability cost to the statement that paid it.
+func (l *Log) AppendSynced(kind byte, data []byte) (uint64, time.Duration, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return 0, errors.New("wal: log closed")
+		return 0, 0, errors.New("wal: log closed")
 	}
 	if l.failed != nil {
-		return 0, fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
+		return 0, 0, fmt.Errorf("%w: %w", ErrLogFailed, l.failed)
 	}
 	seq := l.seq + 1
 	payload := make([]byte, 0, 9+len(data))
@@ -255,16 +264,19 @@ func (l *Log) Append(kind byte, data []byte) (uint64, error) {
 
 	if _, err := l.f.Write(rec); err != nil {
 		l.failed = err
-		return 0, fmt.Errorf("wal: append: %w", err)
+		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.seq = seq
 	l.dirty = true
+	var syncDur time.Duration
 	if l.opts.Policy == SyncAlways {
+		start := time.Now()
 		if err := l.syncLocked(); err != nil {
-			return 0, fmt.Errorf("wal: fsync: %w", err)
+			return 0, 0, fmt.Errorf("wal: fsync: %w", err)
 		}
+		syncDur = time.Since(start)
 	}
-	return seq, nil
+	return seq, syncDur, nil
 }
 
 // syncLocked fsyncs the current segment; caller holds l.mu.
@@ -370,6 +382,25 @@ func (l *Log) TrimBefore(seq uint64) (int, error) {
 func (l *Log) SegmentCount() (int, error) {
 	segs, err := segments(l.fs, l.opts.Dir)
 	return len(segs), err
+}
+
+// SizeBytes reports the total on-disk size of all segment files — the
+// wal_size_bytes gauge the server exports. Segments that vanish mid-listing
+// (a concurrent TrimBefore) are skipped, not errors.
+func (l *Log) SizeBytes() (int64, error) {
+	segs, err := segments(l.fs, l.opts.Dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, name := range segs {
+		n, err := l.fs.Size(filepath.Join(l.opts.Dir, name))
+		if err != nil {
+			continue
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // flushLoop is the SyncInterval background flusher.

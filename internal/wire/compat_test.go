@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sgb/internal/obs"
+)
+
+// encodeV1Query renders a Query frame exactly as a v1 peer would: SQL only,
+// no trace-ID tail.
+func encodeV1Query(sql string) []byte {
+	payload := appendString(nil, sql)
+	hdr := []byte{TypeQuery, 0, 0, 0, 0}
+	hdr[1] = byte(len(payload) >> 24)
+	hdr[2] = byte(len(payload) >> 16)
+	hdr[3] = byte(len(payload) >> 8)
+	hdr[4] = byte(len(payload))
+	return append(hdr, payload...)
+}
+
+// TestQueryV1FrameCompat pins the two directions of the v1/v2 Query
+// compatibility story: a v1 frame (no trace tail) decodes on a v2 peer with
+// an empty TraceID, and a v2 untraced Query encodes byte-identically to the
+// v1 layout — so a v1 server decodes it without trailing-bytes errors.
+func TestQueryV1FrameCompat(t *testing.T) {
+	const sql = "SELECT count(*) FROM t GROUP BY x DISTANCE-TO-ANY L2 WITHIN 0.5"
+
+	v1 := encodeV1Query(sql)
+	m, err := ReadMessage(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v2 decode of v1 frame: %v", err)
+	}
+	q, ok := m.(*Query)
+	if !ok || q.SQL != sql || q.TraceID != "" {
+		t.Fatalf("v1 frame decoded as %#v", m)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Query{SQL: sql}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), v1) {
+		t.Fatalf("untraced v2 Query not byte-identical to v1 frame:\n v2: %x\n v1: %x", buf.Bytes(), v1)
+	}
+}
+
+func TestQueryTraceIDRoundTrip(t *testing.T) {
+	id := obs.NewTraceID()
+	want := &Query{SQL: "SELECT 1", TraceID: id}
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v want %#v", got, want)
+	}
+}
+
+// TestQueryMalformedTraceID pins the typed rejection of bad trace IDs on
+// both the encode and decode sides.
+func TestQueryMalformedTraceID(t *testing.T) {
+	bad := []string{"short", "0123456789ABCDEF", "0123456789abcdefff", "xyzw456789abcdef"}
+	for _, id := range bad {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &Query{SQL: "SELECT 1", TraceID: id}); !errors.Is(err, ErrBadTraceID) {
+			t.Errorf("encode %q: got %v, want ErrBadTraceID", id, err)
+		}
+	}
+	// Hand-build frames with a malformed trailing trace ID (an honest encoder
+	// refuses to produce them, so splice the tail in by hand).
+	for _, id := range append(bad, "") {
+		payload := appendString(nil, "SELECT 1")
+		payload = appendString(payload, id)
+		frame := []byte{TypeQuery, 0, 0, 0, byte(len(payload))}
+		frame = append(frame, payload...)
+		_, err := ReadMessage(bytes.NewReader(frame))
+		if !errors.Is(err, ErrBadTraceID) {
+			t.Errorf("decode with trace id %q: got %v, want ErrBadTraceID", id, err)
+		}
+	}
+}
+
+func TestIntrospectRoundTrip(t *testing.T) {
+	msgs := []Message{
+		&Introspect{What: IntrospectProcessList},
+		&Introspect{What: IntrospectSlowLog},
+		&IntrospectResult{What: IntrospectProcessList, JSON: `[{"trace_id":"00aabbccddeeff11","state":"executing"}]`},
+		&IntrospectResult{What: IntrospectSlowLog, JSON: `[]`},
+	}
+	for _, want := range msgs {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, want); err != nil {
+			t.Fatalf("write %T: %v", want, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %T: %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip %T: got %#v want %#v", want, got, want)
+		}
+	}
+}
+
+func TestReadMessageTimed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Query{SQL: "SELECT 1", TraceID: obs.NewTraceID()}); err != nil {
+		t.Fatal(err)
+	}
+	m, d, err := ReadMessageTimed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.(*Query); !ok {
+		t.Fatalf("decoded %T", m)
+	}
+	if d < 0 || d > time.Second {
+		t.Fatalf("implausible decode duration %v", d)
+	}
+	// Truncated payload still reports a duration alongside the error.
+	var buf2 bytes.Buffer
+	if err := WriteMessage(&buf2, &Query{SQL: "SELECT 1"}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf2.Bytes()
+	if _, _, err := ReadMessageTimed(bytes.NewReader(b[:len(b)-2])); err == nil ||
+		!strings.Contains(err.Error(), "unexpected EOF") {
+		t.Fatalf("truncated timed read: %v", err)
+	}
+}

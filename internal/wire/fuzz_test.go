@@ -32,6 +32,9 @@ func FuzzReadMessage(f *testing.F) {
 		&Hello{Version: Version},
 		&Welcome{Version: Version, Server: "sgbd/test"},
 		&Query{SQL: "SELECT count(*) FROM t GROUP BY x DISTANCE-TO-ANY L2 WITHIN 0.5"},
+		&Query{SQL: "SELECT 1", TraceID: "00aabbccddeeff11"},
+		&Introspect{What: IntrospectProcessList},
+		&IntrospectResult{What: IntrospectSlowLog, JSON: `[{"trace_id":"00aabbccddeeff11"}]`},
 		&Set{Name: "batch_size", Value: "1024"},
 		&Ping{},
 		&Pong{},
@@ -52,24 +55,28 @@ func FuzzReadMessage(f *testing.F) {
 	}
 
 	// Corrupted-frame seeds mirroring TestMalformedFrames.
-	f.Add([]byte{TypePing, 0, 0})         // truncated header
+	f.Add([]byte{TypePing, 0, 0})              // truncated header
 	f.Add(encode(&Query{SQL: "SELECT 1"})[:8]) // truncated payload
 	oversized := []byte{TypeQuery, 0, 0, 0, 0}
 	binary.BigEndian.PutUint32(oversized[1:], MaxFrame+1)
-	f.Add(oversized)                      // oversized length prefix
-	f.Add([]byte{0x7f, 0, 0, 0, 0})       // unknown message type
+	f.Add(oversized)                // oversized length prefix
+	f.Add([]byte{0x7f, 0, 0, 0, 0}) // unknown message type
 	badMagic := encode(&Hello{Version: Version})
 	copy(badMagic[5:], "HTTP")
-	f.Add(badMagic)                       // bad magic
+	f.Add(badMagic) // bad magic
 	trailing := encode(&Pong{})
-	trailing[4] = 7 // lie about the payload length, then supply garbage
+	trailing[4] = 7                       // lie about the payload length, then supply garbage
 	f.Add(append(trailing, "garbage"...)) // trailing bytes inside the frame
 	badCount := encode(&RowHeader{Columns: []string{"a"}})
 	binary.BigEndian.PutUint32(badCount[5:], 1<<30)
-	f.Add(badCount)                       // corrupt element count
+	f.Add(badCount) // corrupt element count
 	badValue := encode(&RowBatch{Rows: []engine.Row{{engine.NewInt(1)}}})
 	badValue[13] = 0xee
-	f.Add(badValue)                       // unknown value type tag
+	f.Add(badValue) // unknown value type tag
+	badTrace := encode(&Query{SQL: "SELECT 1"})
+	badTrace = append(badTrace, 0, 0, 0, 3, 'x', 'y', 'z')
+	binary.BigEndian.PutUint32(badTrace[1:5], uint32(len(badTrace)-5))
+	f.Add(badTrace) // malformed trailing trace ID
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := ReadMessage(bytes.NewReader(data))

@@ -18,11 +18,22 @@
 // (including the NaN bit patterns the float encoding preserves).
 //
 // Protocol versioning: Version is a single monotonically increasing integer.
-// A server refuses a Hello whose version it does not speak with
-// CodeVersionMismatch, naming its own version in the error message; there is
-// no negotiation. Additive changes (new message types, new Set keys) that old
-// peers can safely ignore do not bump the version; changes to existing frame
-// layouts do.
+// A server accepts any Hello version in [MinVersion, Version] and echoes the
+// accepted version in Welcome; it refuses anything else with
+// CodeVersionMismatch, naming its own range in the error message. A client
+// dialing an older server retries the handshake at the server's version.
+// Additive changes (new message types, new Set keys) that old peers can
+// safely ignore do not bump the version; changes to existing frame layouts
+// do.
+//
+// Version history:
+//
+//	1: initial server protocol (PR 4).
+//	2: Query frames may carry a trailing trace ID for cross-boundary
+//	   tracing; Introspect/IntrospectResult messages expose the server's
+//	   process list and slow-query log. A v2 server still accepts v1
+//	   clients (which simply never attach trace IDs), and a v2 client
+//	   downgrades to v1 framing against a v1 server.
 package wire
 
 import (
@@ -31,13 +42,18 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"sgb/internal/engine"
+	"sgb/internal/obs"
 )
 
-// Version is the protocol version this package speaks. See the package
-// comment for the compatibility policy.
-const Version = 1
+// Version is the newest protocol version this package speaks. See the
+// package comment for the compatibility policy.
+const Version = 2
+
+// MinVersion is the oldest protocol version a server still accepts.
+const MinVersion = 1
 
 // Magic opens every Hello payload, so a server can reject a stray HTTP or
 // MySQL client with a protocol error instead of a confusing decode failure.
@@ -51,21 +67,31 @@ const MaxFrame = 16 << 20
 // Message type bytes. Client-originated types have the high bit clear,
 // server-originated types have it set.
 const (
-	TypeHello  byte = 0x01 // client: magic, protocol version
-	TypeQuery  byte = 0x02 // client: one SQL statement
-	TypeSet    byte = 0x03 // client: session setting name/value
-	TypePing   byte = 0x04 // client: liveness probe
-	TypeCancel byte = 0x05 // client: abort the in-flight query
-	TypeStats  byte = 0x06 // client: request the server metrics snapshot
-	TypeClose  byte = 0x07 // client: graceful goodbye
+	TypeHello      byte = 0x01 // client: magic, protocol version
+	TypeQuery      byte = 0x02 // client: one SQL statement
+	TypeSet        byte = 0x03 // client: session setting name/value
+	TypePing       byte = 0x04 // client: liveness probe
+	TypeCancel     byte = 0x05 // client: abort the in-flight query
+	TypeStats      byte = 0x06 // client: request the server metrics snapshot
+	TypeClose      byte = 0x07 // client: graceful goodbye
+	TypeIntrospect byte = 0x08 // client: request process list / slowlog (v2+)
 
-	TypeWelcome   byte = 0x81 // server: handshake accepted
-	TypeRowHeader byte = 0x82 // server: result column names
-	TypeRowBatch  byte = 0x83 // server: one batch of result rows
-	TypeDone      byte = 0x84 // server: statement/settings op completed
-	TypeError     byte = 0x85 // server: typed failure
-	TypePong      byte = 0x86 // server: ping reply
-	TypeStatsText byte = 0x87 // server: Prometheus text metrics
+	TypeWelcome          byte = 0x81 // server: handshake accepted
+	TypeRowHeader        byte = 0x82 // server: result column names
+	TypeRowBatch         byte = 0x83 // server: one batch of result rows
+	TypeDone             byte = 0x84 // server: statement/settings op completed
+	TypeError            byte = 0x85 // server: typed failure
+	TypePong             byte = 0x86 // server: ping reply
+	TypeStatsText        byte = 0x87 // server: Prometheus text metrics
+	TypeIntrospectResult byte = 0x88 // server: introspection JSON (v2+)
+)
+
+// Introspection targets carried by the Introspect message.
+const (
+	// IntrospectProcessList asks for the in-flight query list.
+	IntrospectProcessList = "processlist"
+	// IntrospectSlowLog asks for the slow-query log, newest first.
+	IntrospectSlowLog = "slowlog"
 )
 
 // Error codes carried by the Error message.
@@ -116,8 +142,15 @@ type Welcome struct {
 }
 
 // Query submits one SQL statement.
+//
+// TraceID optionally correlates the statement with an end-to-end trace: 16
+// lowercase hex digits, minted by the client (or left empty, in which case a
+// v2 server mints one itself). The field rides as an optional trailing
+// string on the v1 Query layout — a v1 peer that never writes it produces
+// exactly the v1 frame, which is what keeps the two versions interoperable.
 type Query struct {
-	SQL string
+	SQL     string
+	TraceID string
 }
 
 // Set changes one session-scoped setting. Names and value syntax are defined
@@ -139,6 +172,21 @@ type Cancel struct{}
 
 // Stats requests the server's metrics registry; answered by StatsText.
 type Stats struct{}
+
+// Introspect (v2+) requests one of the server's live-introspection surfaces
+// — What is IntrospectProcessList or IntrospectSlowLog. It is part of the
+// Stats family: answered out of band of queries with an IntrospectResult.
+type Introspect struct {
+	What string
+}
+
+// IntrospectResult answers Introspect with a JSON document: an array of
+// obs.QueryInfo for the process list, an array of obs.SlowQuery for the
+// slowlog.
+type IntrospectResult struct {
+	What string
+	JSON string
+}
 
 // StatsText carries the metrics registry in Prometheus text format.
 type StatsText struct {
@@ -180,6 +228,9 @@ func (e *Error) Error() string {
 	return fmt.Sprintf("server error (code %d): %s", e.Code, e.Message)
 }
 
+func (*Introspect) wireType() byte       { return TypeIntrospect }
+func (*IntrospectResult) wireType() byte { return TypeIntrospectResult }
+
 func (*Hello) wireType() byte     { return TypeHello }
 func (*Welcome) wireType() byte   { return TypeWelcome }
 func (*Query) wireType() byte     { return TypeQuery }
@@ -198,6 +249,11 @@ func (*Error) wireType() byte     { return TypeError }
 // ErrFrameTooLarge is returned when a frame's length prefix exceeds
 // MaxFrame.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// ErrBadTraceID reports a Query frame carrying a malformed trace ID (not 16
+// lowercase hex digits). Decode errors wrap it, so peers can classify the
+// failure with errors.Is.
+var ErrBadTraceID = errors.New("wire: malformed trace id")
 
 // errShort is the shared truncated-payload decode error.
 var errShort = errors.New("wire: truncated payload")
@@ -246,6 +302,38 @@ func ReadMessage(r io.Reader) (Message, error) {
 	return decodePayload(hdr[0], payload)
 }
 
+// ReadMessageTimed decodes the next frame and reports how long reading and
+// decoding it took, measured from after the first header byte arrived — so
+// idle time waiting for the client to speak is excluded and the duration is
+// the wire-decode cost of the frame itself. The server uses it to attach a
+// wire_decode span to query traces.
+func ReadMessageTimed(r io.Reader) (Message, time.Duration, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, time.Since(start), err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	if n > MaxFrame {
+		return nil, time.Since(start), ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, time.Since(start), err
+	}
+	m, err := decodePayload(hdr[0], payload)
+	return m, time.Since(start), err
+}
+
 // appendPayload encodes m's payload (everything after the frame header).
 func appendPayload(b []byte, m Message) ([]byte, error) {
 	switch m := m.(type) {
@@ -257,11 +345,24 @@ func appendPayload(b []byte, m Message) ([]byte, error) {
 		b = appendString(b, m.Server)
 	case *Query:
 		b = appendString(b, m.SQL)
+		if m.TraceID != "" {
+			if !obs.ValidTraceID(m.TraceID) {
+				return nil, fmt.Errorf("%w: %q", ErrBadTraceID, m.TraceID)
+			}
+			// Optional v2 tail; omitted entirely when untraced so the frame
+			// stays byte-identical to the v1 layout.
+			b = appendString(b, m.TraceID)
+		}
 	case *Set:
 		b = appendString(b, m.Name)
 		b = appendString(b, m.Value)
 	case *Ping, *Pong, *Cancel, *Stats, *Close:
 		// no payload
+	case *Introspect:
+		b = appendString(b, m.What)
+	case *IntrospectResult:
+		b = appendString(b, m.What)
+		b = appendString(b, m.JSON)
 	case *StatsText:
 		b = appendString(b, m.Text)
 	case *RowHeader:
@@ -304,7 +405,14 @@ func decodePayload(typ byte, b []byte) (Message, error) {
 	case TypeWelcome:
 		m = &Welcome{Version: d.uint32(), Server: d.string()}
 	case TypeQuery:
-		m = &Query{SQL: d.string()}
+		q := &Query{SQL: d.string()}
+		if d.err == nil && d.off < len(d.b) {
+			q.TraceID = d.string()
+			if d.err == nil && !obs.ValidTraceID(q.TraceID) {
+				return nil, fmt.Errorf("%w: %q", ErrBadTraceID, q.TraceID)
+			}
+		}
+		m = q
 	case TypeSet:
 		m = &Set{Name: d.string(), Value: d.string()}
 	case TypePing:
@@ -315,6 +423,10 @@ func decodePayload(typ byte, b []byte) (Message, error) {
 		m = &Cancel{}
 	case TypeStats:
 		m = &Stats{}
+	case TypeIntrospect:
+		m = &Introspect{What: d.string()}
+	case TypeIntrospectResult:
+		m = &IntrospectResult{What: d.string(), JSON: d.string()}
 	case TypeStatsText:
 		m = &StatsText{Text: d.string()}
 	case TypeClose:
