@@ -49,15 +49,27 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "per-probe wall-clock bound for the -json suite; a probe exceeding it fails the run (0 = unbounded)")
 		workers = flag.Int("workers", 0, "morsel worker count for the -json probe suite's parallel runs (0 = GOMAXPROCS)")
 		batch   = flag.Int("batch", 0, "batch/morsel row count for the -json probe suite (0 = engine default)")
+		gate    = flag.String("gate", "", "with -json: baseline snapshot (e.g. BENCH_7.json) to gate against; exits non-zero if any kernel probe's speedup-vs-scalar regressed >20% against it")
 	)
 	flag.Parse()
 
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *jsonN, *seed, *timeout, *workers, *batch); err != nil {
+		doc, err := writeBenchJSON(*jsonOut, *jsonN, *seed, *timeout, *workers, *batch)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "sgbbench:", err)
 			os.Exit(1)
 		}
+		if *gate != "" {
+			if err := gateAgainst(doc, *gate); err != nil {
+				fmt.Fprintln(os.Stderr, "sgbbench:", err)
+				os.Exit(1)
+			}
+		}
 		return
+	}
+	if *gate != "" {
+		fmt.Fprintln(os.Stderr, "sgbbench: -gate requires -json")
+		os.Exit(2)
 	}
 
 	if *csvDir != "" {

@@ -5,14 +5,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"sgb/internal/checkin"
 	"sgb/internal/core"
 	"sgb/internal/engine"
+	"sgb/internal/geom"
 	"sgb/internal/obs"
 )
 
@@ -32,6 +35,10 @@ import (
 // Schema v3 raises the rep count and records the p50/p95/p99 wall times
 // (nearest-rank over the parallel variant's samples) next to the minimum, so
 // tail-latency regressions are visible even when the best-case time holds.
+// Two additive extensions track the columnar execution layer: each SGB probe
+// also runs with the columnar fast path disabled (wall_rowpath_ms /
+// columnar_speedup), and a kernel_probes section times the geom batch kernels
+// against an equivalent scalar geom.Within loop over the same column.
 
 // probeResult is one probe run in the JSON document.
 type probeResult struct {
@@ -46,6 +53,8 @@ type probeResult struct {
 	P99MS         float64 `json:"p99_ms"`
 	WallSerialMS  float64 `json:"wall_serial_ms"`
 	Speedup       float64 `json:"speedup_vs_serial"`
+	WallRowMS     float64 `json:"wall_rowpath_ms,omitempty"`
+	ColSpeedup    float64 `json:"columnar_speedup,omitempty"`
 	Workers       int     `json:"workers"`
 	Batch         int     `json:"batch"`
 	Rows          int     `json:"rows"`
@@ -58,17 +67,35 @@ type probeResult struct {
 	Rounds        int     `json:"rounds"`
 }
 
+// kernelProbeResult times one metric's batch distance kernel against the
+// scalar per-point loop it replaced, over the same coordinate column. The
+// speedup ratio is the machine-portable signal: both variants run on the same
+// host within the same process, so their quotient isolates the layout and
+// vectorization effect from the machine.
+type kernelProbeResult struct {
+	Name        string  `json:"name"`
+	Metric      string  `json:"metric"`
+	N           int     `json:"n"`
+	Dim         int     `json:"dim"`
+	Eps         float64 `json:"eps"`
+	KernelP50MS float64 `json:"kernel_p50_ms"`
+	ScalarP50MS float64 `json:"scalar_p50_ms"`
+	Speedup     float64 `json:"speedup_vs_scalar"`
+	Matches     int     `json:"matches"`
+}
+
 // benchDoc is the whole machine-readable snapshot.
 type benchDoc struct {
-	SchemaVersion int           `json:"schema_version"`
-	Dataset       string        `json:"dataset"`
-	N             int           `json:"n"`
-	Seed          int64         `json:"seed"`
-	Workers       int           `json:"workers"`
-	Batch         int           `json:"batch"`
-	GOMAXPROCS    int           `json:"gomaxprocs"`
-	Runs          []probeResult `json:"runs"`
-	Metrics       obs.Snapshot  `json:"metrics"`
+	SchemaVersion int                 `json:"schema_version"`
+	Dataset       string              `json:"dataset"`
+	N             int                 `json:"n"`
+	Seed          int64               `json:"seed"`
+	Workers       int                 `json:"workers"`
+	Batch         int                 `json:"batch"`
+	GOMAXPROCS    int                 `json:"gomaxprocs"`
+	Runs          []probeResult       `json:"runs"`
+	KernelProbes  []kernelProbeResult `json:"kernel_probes"`
+	Metrics       obs.Snapshot        `json:"metrics"`
 }
 
 // probeReps is how many times each probe variant runs. The minimum wall time
@@ -92,16 +119,96 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[rank-1]
 }
 
+// runKernelProbes times the geom batch kernels (one WithinMask call over a
+// whole coordinate column) against the scalar equivalent (a geom.Within call
+// per point) on identical deterministic data, one probe per metric. Each
+// sample times kernelIters full passes so the sub-microsecond single-pass
+// cost accumulates to a stable measurement.
+func runKernelProbes(n int, seed int64) []kernelProbeResult {
+	const (
+		dim         = 2
+		eps         = 0.25
+		kernelIters = 64
+	)
+	r := rand.New(rand.NewSource(seed))
+	cols := geom.MakeCols(dim, n)
+	for d := 0; d < dim; d++ {
+		col := cols.Col(d)
+		for i := range col {
+			col[i] = r.Float64() * 4
+		}
+	}
+	q := geom.Point{2, 2}
+	dists := make([]float64, n)
+	mask := make([]bool, n)
+	pt := make(geom.Point, dim)
+
+	time50 := func(f func()) float64 {
+		samples := make([]time.Duration, 0, probeReps)
+		for rep := 0; rep < probeReps; rep++ {
+			start := time.Now()
+			f()
+			samples = append(samples, time.Since(start))
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		return float64(percentile(samples, 50).Nanoseconds()) / 1e6
+	}
+
+	var out []kernelProbeResult
+	for _, m := range []geom.Metric{geom.L2, geom.LInf, geom.L1} {
+		var kernelMatches, scalarMatches int
+		kernelP50 := time50(func() {
+			for it := 0; it < kernelIters; it++ {
+				kernelMatches = geom.WithinMask(m, cols, q, eps, dists, mask)
+			}
+		})
+		scalarP50 := time50(func() {
+			for it := 0; it < kernelIters; it++ {
+				cnt := 0
+				for i := 0; i < n; i++ {
+					pt = cols.PointAt(i, pt)
+					if geom.Within(m, pt, q, eps) {
+						cnt++
+					}
+				}
+				scalarMatches = cnt
+			}
+		})
+		res := kernelProbeResult{
+			Name:        "kernel_within_mask_" + strings.ToLower(m.String()),
+			Metric:      m.String(),
+			N:           n,
+			Dim:         dim,
+			Eps:         eps,
+			KernelP50MS: kernelP50,
+			ScalarP50MS: scalarP50,
+			Matches:     kernelMatches,
+		}
+		if kernelMatches != scalarMatches {
+			// The kernels are pinned bit-identical to geom.Within by the geom
+			// tests; a disagreement here means the probe itself is broken.
+			panic(fmt.Sprintf("kernel probe %s: kernel found %d matches, scalar %d",
+				res.Name, kernelMatches, scalarMatches))
+		}
+		if kernelP50 > 0 {
+			res.Speedup = scalarP50 / kernelP50
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
 // writeBenchJSON runs the probe suite and writes the document to path. A
 // non-zero timeout bounds each probe's execution through the engine's
 // cancellation machinery, so a runaway probe aborts mid-query rather than
 // hanging the suite. workers <= 0 resolves to GOMAXPROCS; batch <= 0 keeps
-// the engine default.
-func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, workers, batch int) error {
+// the engine default. The written document is also returned for the -gate
+// comparison.
+func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, workers, batch int) (*benchDoc, error) {
 	db := engine.NewDB()
 	cs := checkin.Generate(checkin.Config{N: n, Seed: seed})
 	if err := checkin.Load(db, "checkins", cs); err != nil {
-		return err
+		return nil, err
 	}
 	db.SetBatchSize(batch)
 	db.SetParallelism(workers)
@@ -143,6 +250,11 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 	// returns the ascending-sorted wall-time samples with the fastest run's
 	// result.
 	timeQuery := func(q string, timeout time.Duration) ([]time.Duration, *engine.Result, error) {
+		// Settle the heap first so a variant's samples are not taxed with
+		// collecting garbage produced by the previous variant's runs — the
+		// suite grew enough per-probe variants (serial, row-path, parallel)
+		// that carry-over GC debt visibly skewed later probes.
+		runtime.GC()
 		samples := make([]time.Duration, 0, probeReps)
 		best := time.Duration(0)
 		var bestRes *engine.Result
@@ -177,18 +289,36 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 		db.SetParallelism(1)
 		serialSamples, serialRes, err := timeQuery(p.query, timeout)
 		if err != nil {
-			return fmt.Errorf("probe %s (serial): %w", p.name, err)
+			return nil, fmt.Errorf("probe %s (serial): %w", p.name, err)
 		}
 		serialWall := serialSamples[0]
+
+		// SGB probes additionally run serially with the columnar fast path
+		// disabled, so the snapshot separates the layout effect (row vs
+		// columnar at one worker) from the parallelism effect.
+		var rowWall time.Duration
+		if p.eps > 0 {
+			db.SetColumnar(false)
+			rowSamples, rowRes, err := timeQuery(p.query, timeout)
+			db.SetColumnar(true)
+			if err != nil {
+				return nil, fmt.Errorf("probe %s (row path): %w", p.name, err)
+			}
+			if len(rowRes.Rows) != len(serialRes.Rows) {
+				return nil, fmt.Errorf("probe %s: row path returned %d rows, columnar %d",
+					p.name, len(rowRes.Rows), len(serialRes.Rows))
+			}
+			rowWall = rowSamples[0]
+		}
 
 		db.SetParallelism(workers)
 		samples, res, err := timeQuery(p.query, timeout)
 		if err != nil {
-			return fmt.Errorf("probe %s: %w", p.name, err)
+			return nil, fmt.Errorf("probe %s: %w", p.name, err)
 		}
 		wall := samples[0]
 		if len(res.Rows) != len(serialRes.Rows) {
-			return fmt.Errorf("probe %s: parallel returned %d rows, serial %d",
+			return nil, fmt.Errorf("probe %s: parallel returned %d rows, serial %d",
 				p.name, len(res.Rows), len(serialRes.Rows))
 		}
 
@@ -210,6 +340,10 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 		if wall > 0 {
 			run.Speedup = float64(serialWall) / float64(wall)
 		}
+		if rowWall > 0 && serialWall > 0 {
+			run.WallRowMS = float64(rowWall.Nanoseconds()) / 1e6
+			run.ColSpeedup = float64(rowWall) / float64(serialWall)
+		}
 		if s := db.LastSGBStats(); s != nil {
 			run.DistanceComps = s.DistanceComps
 			run.RectTests = s.RectTests
@@ -221,11 +355,12 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 		}
 		doc.Runs = append(doc.Runs, run)
 	}
+	doc.KernelProbes = runKernelProbes(n, seed)
 	doc.Metrics = db.Metrics().Snapshot()
 
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
@@ -233,8 +368,50 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
-	if err == nil {
-		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	if err != nil {
+		return nil, err
 	}
-	return err
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return &doc, nil
+}
+
+// gateAgainst compares a fresh snapshot's kernel probes against a committed
+// baseline document and errors when any probe's kernel-vs-scalar speedup
+// regressed by more than 20%%. Comparing the speedup ratio rather than raw
+// milliseconds keeps the gate meaningful across machines: both sides of the
+// ratio are measured on the same host in the same process, so a ratio drop
+// means the kernel itself lost ground to the scalar loop — the p50 regression
+// the gate exists to catch.
+func gateAgainst(doc *benchDoc, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	baseline := make(map[string]kernelProbeResult, len(base.KernelProbes))
+	for _, kp := range base.KernelProbes {
+		baseline[kp.Name] = kp
+	}
+	var failures []string
+	for _, kp := range doc.KernelProbes {
+		old, ok := baseline[kp.Name]
+		if !ok || old.Speedup <= 0 {
+			continue
+		}
+		if kp.Speedup < old.Speedup/1.2 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: kernel speedup %.2fx vs baseline %.2fx (>20%% regression)",
+				kp.Name, kp.Speedup, old.Speedup))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("kernel probe regression gate failed:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "gate: %d kernel probes within 20%% of %s\n",
+		len(doc.KernelProbes), baselinePath)
+	return nil
 }

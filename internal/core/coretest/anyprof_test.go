@@ -1,0 +1,39 @@
+// Package coretest holds core benchmarks that need the checkin generator,
+// which cannot be imported from core's own tests (checkin depends on engine,
+// engine depends on core).
+package coretest
+
+import (
+	"testing"
+
+	"sgb/internal/checkin"
+	"sgb/internal/core"
+	"sgb/internal/geom"
+)
+
+// BenchmarkAnyIndexCheckin runs the SGB-Any Index-Bounds grouper over the
+// clustered check-in dataset — the same shape as the sgbbench sgb_any_l2_index
+// probe, minus the engine. The clustered distribution matters: window-query
+// candidate sets grow with every insertion into a hotspot, which is exactly
+// the access pattern that exposed quadratic scratch reallocation and the
+// probe-buffer aliasing bug in the verification path.
+func BenchmarkAnyIndexCheckin(b *testing.B) {
+	cs := checkin.Generate(checkin.Config{N: 5000, Seed: 1})
+	pts := make([]geom.Point, len(cs))
+	for i, c := range cs {
+		pts[i] = geom.Point{c.Lat, c.Lon}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		g, _ := core.NewAnyGrouper(core.Options{Metric: geom.L2, Eps: 0.25, Algorithm: core.IndexBounds})
+		for _, p := range pts {
+			if _, err := g.Add(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := g.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -41,6 +41,18 @@ func SGBAnyParallelCtx(ctx context.Context, points []geom.Point, opt Options, wo
 	return res, err
 }
 
+// SGBAnyParallelCols is SGBAnyParallel over a columnar point set.
+func SGBAnyParallelCols(pts geom.Cols, opt Options, workers int) (*Result, error) {
+	res, _, err := sgbAnyParallelCols(context.Background(), pts, opt, workers)
+	return res, err
+}
+
+// SGBAnyParallelColsCtx is SGBAnyParallelCols with a cancellation context.
+func SGBAnyParallelColsCtx(ctx context.Context, pts geom.Cols, opt Options, workers int) (*Result, error) {
+	res, _, err := sgbAnyParallelCols(ctx, pts, opt, workers)
+	return res, err
+}
+
 // gridCoord is the ε-grid cell index of coordinate v: floor(v/eps). Using
 // math.Floor (rather than truncation patched up with a float-equality test)
 // keeps boundary-straddling coordinates — negative values, exact multiples
@@ -49,11 +61,42 @@ func gridCoord(v, eps float64) int64 {
 	return int64(math.Floor(v / eps))
 }
 
-// sgbAnyParallel is the implementation behind SGBAnyParallel. It additionally
-// returns the per-worker partial Stats, which the driver folds into the
-// result via Stats.add — the same aggregation path a distributed deployment
-// would use, and the one the tests assert is lossless.
+// sgbAnyParallel adapts the row-major entry points onto the columnar
+// implementation: validate dimensional uniformity (a Cols cannot represent a
+// ragged point set), then transpose once.
 func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, workers int) (*Result, []Stats, error) {
+	{
+		o := opt
+		o.Overlap = JoinAny
+		o.Algorithm = IndexBounds
+		if err := o.Validate(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(points) > 0 {
+		dim := len(points[0])
+		if dim == 0 {
+			return nil, nil, fmt.Errorf("core: zero-dimensional point")
+		}
+		for i, p := range points {
+			if len(p) != dim {
+				return nil, nil, fmt.Errorf("core: point %d: %w", i, ErrDimensionMismatch)
+			}
+		}
+	}
+	return sgbAnyParallelCols(ctx, geom.ColsFromPoints(points), opt, workers)
+}
+
+// sgbAnyParallelCols is the implementation behind the SGBAnyParallel family.
+// It additionally returns the per-worker partial Stats, which the driver
+// folds into the result via Stats.add — the same aggregation path a
+// distributed deployment would use, and the one the tests assert is lossless.
+//
+// The hot path is fully columnar: each worker gathers a cell's coordinates
+// into a reusable columnar scratch slab once, then evaluates the similarity
+// predicate against whole slabs with geom.WithinMask — one kernel call per
+// probe point instead of a geom.Within call per pair.
+func sgbAnyParallelCols(ctx context.Context, pts geom.Cols, opt Options, workers int) (*Result, []Stats, error) {
 	opt.Overlap = JoinAny
 	opt.Algorithm = IndexBounds
 	if err := opt.Validate(); err != nil {
@@ -63,19 +106,16 @@ func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, worke
 		workers = runtime.GOMAXPROCS(0)
 	}
 	res := &Result{}
-	if len(points) == 0 {
+	n := pts.Len()
+	if n == 0 {
 		res.Stats.Rounds = 1
 		return res, nil, nil
 	}
-	dim := len(points[0])
-	if dim == 0 {
-		return nil, nil, fmt.Errorf("core: zero-dimensional point")
-	}
-	for i, p := range points {
-		if len(p) != dim {
-			return nil, nil, fmt.Errorf("core: point %d: %w", i, ErrDimensionMismatch)
-		}
-		if err := checkFinite(p); err != nil {
+	dim := pts.Dim()
+	ptBuf := make(geom.Point, dim)
+	for i := 0; i < n; i++ {
+		ptBuf = pts.PointAt(i, ptBuf)
+		if err := checkFinite(ptBuf); err != nil {
 			return nil, nil, fmt.Errorf("core: point %d: %w", i, err)
 		}
 	}
@@ -84,18 +124,18 @@ func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, worke
 	// any two points within ε (under any supported metric, since δ∞ ≤ δ)
 	// sit in the same or an adjacent cell.
 	type cellKey string
-	cellOf := func(p geom.Point) cellKey {
+	cellOf := func(i int) cellKey {
 		// A compact integer encoding of the per-axis cell coordinates.
 		buf := make([]byte, 0, dim*10)
-		for _, v := range p {
-			buf = appendInt(buf, gridCoord(v, opt.Eps))
+		for d := 0; d < dim; d++ {
+			buf = appendInt(buf, gridCoord(pts.Col(d)[i], opt.Eps))
 		}
 		return cellKey(buf)
 	}
-	coordsOf := func(p geom.Point) []int64 {
+	coordsOf := func(i int) []int64 {
 		out := make([]int64, dim)
-		for i, v := range p {
-			out[i] = gridCoord(v, opt.Eps)
+		for d := range out {
+			out[d] = gridCoord(pts.Col(d)[i], opt.Eps)
 		}
 		return out
 	}
@@ -107,10 +147,10 @@ func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, worke
 		return cellKey(buf)
 	}
 
-	cells := make(map[cellKey][]int, len(points)/2+1)
+	cells := make(map[cellKey][]int, n/2+1)
 	var order []cellKey
-	for i, p := range points {
-		k := cellOf(p)
+	for i := 0; i < n; i++ {
+		k := cellOf(i)
 		if _, ok := cells[k]; !ok {
 			order = append(order, k)
 		}
@@ -172,28 +212,50 @@ func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, worke
 			defer wg.Done()
 			var local []edge
 			var part Stats
+			// Per-worker kernel scratch, reused across every cell this
+			// worker claims.
+			cellScr := geom.NewCols(dim)
+			nbScr := geom.NewCols(dim)
+			var view geom.Cols
+			var dists []float64
+			var mask []bool
+			grow := func(k int) ([]float64, []bool) {
+				if cap(dists) < k {
+					dists = make([]float64, k)
+					mask = make([]bool, k)
+				}
+				return dists[:k], mask[:k]
+			}
+			probe := make(geom.Point, dim)
+			nb := make([]int64, dim)
 			for {
 				ci := atomic.AddInt64(&next, 1)
 				if ci >= int64(len(order)) || canceled() {
 					break
 				}
-				key := order[ci]
-				members := cells[key]
+				members := cells[order[ci]]
 				// Each cell is owned by exactly one worker, so counting its
 				// members here partitions Points across workers.
 				part.Points += len(members)
-				// Intra-cell pairs.
-				for i := 0; i < len(members); i++ {
-					for j := i + 1; j < len(members); j++ {
-						part.DistanceComps++
-						if geom.Within(opt.Metric, points[members[i]], points[members[j]], opt.Eps) {
-							local = append(local, edge{int32(members[i]), int32(members[j])})
+				cellScr.Gather(pts, members)
+				// Intra-cell pairs: probe member i against the slab of
+				// members after it.
+				for i := 0; i+1 < len(members); i++ {
+					probe = cellScr.PointAt(i, probe)
+					view.SliceInto(cellScr, i+1, len(members))
+					k := len(members) - i - 1
+					d, m := grow(k)
+					part.DistanceComps += int64(k)
+					geom.WithinMask(opt.Metric, view, probe, opt.Eps, d, m)
+					for j, in := range m {
+						if in {
+							local = append(local, edge{int32(members[i]), int32(members[i+1+j])})
 						}
 					}
 				}
-				// Forward neighbour cells.
-				base := coordsOf(points[members[0]])
-				nb := make([]int64, dim)
+				// Forward neighbour cells: gather the other cell's slab once
+				// per offset, then probe every member against it.
+				base := coordsOf(members[0])
 				for _, off := range forward {
 					for d := range nb {
 						nb[d] = base[d] + off[d]
@@ -202,11 +264,15 @@ func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, worke
 					if !ok {
 						continue
 					}
-					for _, a := range members {
-						for _, b := range other {
-							part.DistanceComps++
-							if geom.Within(opt.Metric, points[a], points[b], opt.Eps) {
-								local = append(local, edge{int32(a), int32(b)})
+					nbScr.Gather(pts, other)
+					for ai, a := range members {
+						probe = cellScr.PointAt(ai, probe)
+						d, m := grow(len(other))
+						part.DistanceComps += int64(len(other))
+						geom.WithinMask(opt.Metric, nbScr, probe, opt.Eps, d, m)
+						for bi, in := range m {
+							if in {
+								local = append(local, edge{int32(a), int32(other[bi])})
 							}
 						}
 					}
@@ -221,7 +287,7 @@ func sgbAnyParallel(ctx context.Context, points []geom.Point, opt Options, worke
 		return nil, nil, err
 	}
 
-	uf := unionfind.New(len(points))
+	uf := unionfind.New(n)
 	var merges int64
 	for _, buf := range edgeBufs {
 		for _, e := range buf {

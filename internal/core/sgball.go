@@ -15,10 +15,58 @@ import (
 // well under a second, rare enough to keep the hot path branch-predictable.
 const ctxCheckStride = 1024
 
+// kernelBlock is the maximum row count of one batch-kernel probe: member
+// scans walk a group's columnar mirror in slabs of up to this many points per
+// geom.WithinMask call. It bounds the kernel scratch buffers; large enough to
+// amortize the call and let the inner loop vectorize.
+const kernelBlock = 256
+
+// kernelHead is the number of members an early-exit scan probes
+// row-at-a-time with geom.Within before switching to batch kernels. A scan
+// that decides on its first member — the common case for JOIN-ANY candidacy
+// over sparse data — pays exactly one distance computation and no kernel
+// dispatch, matching the historical per-row scan; only scans that survive
+// the head amortize kernel-call overhead over wide blocks.
+const kernelHead = 16
+
+// kernelBlockMin is the first kernel block size after the scalar head.
+// Blocks double from here up to kernelBlock, so a scan deciding at member k
+// computes fewer than 2k distances while long scans spend almost all their
+// rows in full-width blocks.
+const kernelBlockMin = 32
+
+// scanBlocks iterates [lo, n) in kernel blocks ramping from kernelBlockMin
+// up to kernelBlock. f returns false to stop the scan early.
+func scanBlocks(lo, n int, f func(lo, hi int) bool) {
+	blk := kernelBlockMin
+	for lo < n {
+		hi := lo + blk
+		if hi > n {
+			hi = n
+		}
+		if !f(lo, hi) {
+			return
+		}
+		lo = hi
+		if blk < kernelBlock {
+			blk <<= 1
+		}
+	}
+}
+
+// headLen caps the scalar head of a scan at kernelHead members.
+func headLen(n int) int {
+	if n < kernelHead {
+		return n
+	}
+	return kernelHead
+}
+
 // allGroup is one live SGB-All group under construction.
 type allGroup struct {
 	id      int
 	members []int         // point ids, in insertion order
+	cols    geom.Cols     // columnar mirror of the member coordinates, row i = members[i]
 	rect    *geom.EpsRect // ε-All bounding rectangle + member MBR
 	hull    *hull.Incremental
 	// treeRect is the rectangle currently stored for this group in the
@@ -44,6 +92,13 @@ type AllGrouper struct {
 	deferred []int   // S′: points diverted by FORM-NEW-GROUP
 	dropped  []int   // points discarded by ELIMINATE
 	gidBuf   []int64 // scratch buffer for window-query results
+
+	// Kernel scratch, reused across every member scan: a column view of the
+	// current block plus the distance/verdict buffers for one WithinMask
+	// call. Bounded by kernelBlock, alloc-free in steady state.
+	view  geom.Cols
+	dists []float64
+	mask  []bool
 
 	stats    Stats
 	useHull  bool
@@ -130,11 +185,14 @@ func (g *AllGrouper) Finish() (*Result, error) {
 	for len(g.deferred) > 0 {
 		// Each round groups S′ against a fresh group universe: the points
 		// in S′ form new groups among themselves (Procedures 1 and 3).
-		// Progress is guaranteed: the ProcessOverlap removals only ever
+		// Progress is expected: the ProcessOverlap removals only ever
 		// take the members of a group that are within ε of the probe and
 		// the OverlapGroups definition requires at least one member that
-		// is not, so no group is ever fully emptied; at least one group
-		// therefore survives every round and |S′| strictly decreases.
+		// is not, so groups are (near-)never fully emptied — see
+		// rebuildGroup for the floating-point boundary exception — and at
+		// least one group survives every round, so |S′| decreases. The
+		// check below turns any pathological counterexample into an error
+		// instead of a livelock.
 		before := len(g.deferred)
 		g.final = append(g.final, g.active...)
 		g.active = nil
@@ -219,20 +277,10 @@ func (g *AllGrouper) processPoint(id int) {
 func (g *AllGrouper) findAllPairs(p geom.Point) (candidates, overlaps []*allGroup) {
 	joinAny := g.opt.Overlap == JoinAny
 	for _, grp := range g.active {
-		candidate, overlap := true, false
-		for _, m := range grp.members {
-			g.stats.DistanceComps++
-			if geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
-				overlap = true
-			} else {
-				candidate = false
-				if joinAny {
-					// JOIN-ANY never consults OverlapGroups, so the
-					// scan can stop at the first violation.
-					break
-				}
-			}
+		if len(grp.members) == 0 {
+			continue
 		}
+		candidate, overlap := g.scanMembers(grp, p, joinAny)
 		switch {
 		case candidate:
 			candidates = append(candidates, grp)
@@ -241,6 +289,58 @@ func (g *AllGrouper) findAllPairs(p geom.Point) (candidates, overlaps []*allGrou
 		}
 	}
 	return candidates, overlaps
+}
+
+// scratch returns the distance and mask buffers grown to hold n rows
+// (n ≤ kernelBlock).
+func (g *AllGrouper) scratch(n int) ([]float64, []bool) {
+	if cap(g.dists) < n {
+		g.dists = make([]float64, kernelBlock)
+		g.mask = make([]bool, kernelBlock)
+	}
+	return g.dists[:n], g.mask[:n]
+}
+
+// scanMembers evaluates the similarity predicate between p and every member
+// of grp: a scalar head of geom.Within calls (so a scan deciding on its
+// first members costs what the historical per-row scan did), then one
+// WithinMask kernel call per ramping block of the group's columnar mirror.
+// allIn reports whether every member qualifies, anyIn whether at least one
+// does. Under JOIN-ANY the overlap verdict is never consulted, so the scan
+// stops at the first violation (head) or first violating block (tail);
+// otherwise every member is evaluated, preserving the row-at-a-time scan's
+// DistanceComps accounting exactly.
+func (g *AllGrouper) scanMembers(grp *allGroup, p geom.Point, joinAny bool) (allIn, anyIn bool) {
+	allIn = true
+	head := headLen(len(grp.members))
+	for i := 0; i < head; i++ {
+		g.stats.DistanceComps++
+		if geom.Within(g.opt.Metric, p, g.points[grp.members[i]], g.opt.Eps) {
+			anyIn = true
+		} else {
+			allIn = false
+			if joinAny {
+				return
+			}
+		}
+	}
+	scanBlocks(head, grp.cols.Len(), func(lo, hi int) bool {
+		g.view.SliceInto(grp.cols, lo, hi)
+		dists, mask := g.scratch(hi - lo)
+		g.stats.DistanceComps += int64(hi - lo)
+		cnt := geom.WithinMask(g.opt.Metric, g.view, p, g.opt.Eps, dists, mask)
+		if cnt > 0 {
+			anyIn = true
+		}
+		if cnt < hi-lo {
+			allIn = false
+			if joinAny {
+				return false
+			}
+		}
+		return true
+	})
+	return
 }
 
 // findBounds is Bounds-Checking FindCloseGroups (Procedure 4): the ε-All
@@ -253,6 +353,9 @@ func (g *AllGrouper) findBounds(p geom.Point) (candidates, overlaps []*allGroup)
 		pBox = geom.BoxAround(p, g.opt.Eps)
 	}
 	for _, grp := range g.active {
+		if len(grp.members) == 0 {
+			continue
+		}
 		g.stats.RectTests++
 		if grp.rect.ContainsPoint(p) {
 			if g.qualifies(grp, p) {
@@ -297,7 +400,7 @@ func (g *AllGrouper) findIndexed(p geom.Point) (candidates, overlaps []*allGroup
 	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 	for _, gid := range gids {
 		grp := g.groupByID(int(gid))
-		if grp == nil {
+		if grp == nil || len(grp.members) == 0 {
 			continue
 		}
 		g.stats.RectTests++
@@ -351,25 +454,51 @@ func (g *AllGrouper) qualifies(grp *allGroup, p geom.Point) bool {
 }
 
 // anyWithin reports whether any member of grp satisfies the predicate with p.
+// The scan is block-wise and stops at the first block containing a hit.
 func (g *AllGrouper) anyWithin(grp *allGroup, p geom.Point) bool {
-	for _, m := range grp.members {
+	head := headLen(len(grp.members))
+	for i := 0; i < head; i++ {
 		g.stats.DistanceComps++
-		if geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
+		if geom.Within(g.opt.Metric, p, g.points[grp.members[i]], g.opt.Eps) {
 			return true
 		}
 	}
-	return false
+	found := false
+	scanBlocks(head, grp.cols.Len(), func(lo, hi int) bool {
+		g.view.SliceInto(grp.cols, lo, hi)
+		dists, mask := g.scratch(hi - lo)
+		g.stats.DistanceComps += int64(hi - lo)
+		if geom.WithinMask(g.opt.Metric, g.view, p, g.opt.Eps, dists, mask) > 0 {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }
 
 // allWithin reports whether every member of grp satisfies the predicate.
+// The scan is block-wise and stops at the first block containing a violation.
 func (g *AllGrouper) allWithin(grp *allGroup, p geom.Point) bool {
-	for _, m := range grp.members {
+	head := headLen(len(grp.members))
+	for i := 0; i < head; i++ {
 		g.stats.DistanceComps++
-		if !geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
+		if !geom.Within(g.opt.Metric, p, g.points[grp.members[i]], g.opt.Eps) {
 			return false
 		}
 	}
-	return true
+	all := true
+	scanBlocks(head, grp.cols.Len(), func(lo, hi int) bool {
+		g.view.SliceInto(grp.cols, lo, hi)
+		dists, mask := g.scratch(hi - lo)
+		g.stats.DistanceComps += int64(hi - lo)
+		if geom.WithinMask(g.opt.Metric, g.view, p, g.opt.Eps, dists, mask) < hi-lo {
+			all = false
+			return false
+		}
+		return true
+	})
+	return all
 }
 
 func (g *AllGrouper) groupByID(id int) *allGroup {
@@ -391,8 +520,10 @@ func (g *AllGrouper) newGroup(id int) *allGroup {
 	grp := &allGroup{
 		id:      g.nextID,
 		members: []int{id},
+		cols:    geom.NewCols(g.dim),
 		rect:    geom.NewEpsRect(p, g.opt.Eps),
 	}
+	grp.cols.AppendPoint(p)
 	g.nextID++
 	if g.useHull {
 		grp.hull = hull.NewIncremental(p)
@@ -413,6 +544,7 @@ func (g *AllGrouper) newGroup(id int) *allGroup {
 func (g *AllGrouper) insert(grp *allGroup, id int) {
 	p := g.points[id]
 	grp.members = append(grp.members, id)
+	grp.cols.AppendPoint(p)
 	grp.rect.Add(p)
 	if grp.hull != nil {
 		grp.hull.Add(p)
@@ -425,14 +557,28 @@ func (g *AllGrouper) insert(grp *allGroup, id int) {
 // FORM-NEW-GROUP — and the group's summaries are rebuilt.
 func (g *AllGrouper) processOverlap(p geom.Point, overlaps []*allGroup) {
 	for _, grp := range overlaps {
+		// Partition the members by one block-wise kernel pass: mask row i
+		// decides members[i]. The keep compaction is in place — its write
+		// index never passes the read index.
+		n := grp.cols.Len()
 		keep := grp.members[:0]
 		var removed []int
-		for _, m := range grp.members {
-			g.stats.DistanceComps++
-			if geom.Within(g.opt.Metric, p, g.points[m], g.opt.Eps) {
-				removed = append(removed, m)
-			} else {
-				keep = append(keep, m)
+		for lo := 0; lo < n; lo += kernelBlock {
+			hi := lo + kernelBlock
+			if hi > n {
+				hi = n
+			}
+			g.view.SliceInto(grp.cols, lo, hi)
+			dists, mask := g.scratch(hi - lo)
+			g.stats.DistanceComps += int64(hi - lo)
+			geom.WithinMask(g.opt.Metric, g.view, p, g.opt.Eps, dists, mask)
+			for i, in := range mask {
+				m := grp.members[lo+i]
+				if in {
+					removed = append(removed, m)
+				} else {
+					keep = append(keep, m)
+				}
 			}
 		}
 		if len(removed) == 0 {
@@ -454,8 +600,10 @@ func (g *AllGrouper) processOverlap(p geom.Point, overlaps []*allGroup) {
 // refreshed to stay a superset.
 func (g *AllGrouper) rebuildGroup(grp *allGroup) {
 	pts := make([]geom.Point, len(grp.members))
+	grp.cols.Reset()
 	for i, m := range grp.members {
 		pts[i] = g.points[m]
+		grp.cols.AppendPoint(g.points[m])
 	}
 	if grp.inTree {
 		g.tree.Delete(grp.treeRect, int64(grp.id))
@@ -463,8 +611,13 @@ func (g *AllGrouper) rebuildGroup(grp *allGroup) {
 		grp.inTree = false
 	}
 	if len(grp.members) == 0 {
-		// Unreachable per the OverlapGroups definition (see Finish), but
-		// kept so a future semantics tweak degrades gracefully.
+		// Near-unreachable per the OverlapGroups definition (see Finish) —
+		// but at floating-point boundaries the ε-All rectangle filter
+		// (coordinate arithmetic) can under-approximate the exact predicate
+		// (squared-distance compare), misclassifying a full candidate as a
+		// partial overlap, and ProcessOverlap then strips every member. The
+		// emptied group stays behind as an inert zombie: it is skipped by
+		// every find path and dropped by Finish.
 		grp.rect.Rebuild(nil)
 		return
 	}
@@ -480,6 +633,26 @@ func (g *AllGrouper) rebuildGroup(grp *allGroup) {
 	}
 }
 
+// AddCols feeds every point of a columnar batch in row order, as if each had
+// been passed to Add. The coordinates are copied into a private row-major
+// arena (the grouper retains per-point storage for the rectangle and hull
+// summaries), one allocation per batch; c is not retained.
+func (g *AllGrouper) AddCols(c geom.Cols) error {
+	n, dim := c.Len(), c.Dim()
+	if n == 0 {
+		return nil
+	}
+	arena := make([]float64, n*dim)
+	for i := 0; i < n; i++ {
+		pt := geom.Point(arena[i*dim : (i+1)*dim : (i+1)*dim])
+		pt = c.PointAt(i, pt)
+		if _, err := g.Add(pt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SGBAll groups points with the DISTANCE-TO-ALL semantics in input order and
 // returns the final grouping. It is the batch convenience wrapper around
 // AllGrouper.
@@ -492,6 +665,18 @@ func SGBAll(points []geom.Point, opt Options) (*Result, error) {
 		if _, err := g.Add(p); err != nil {
 			return nil, err
 		}
+	}
+	return g.Finish()
+}
+
+// SGBAllCols is SGBAll over a columnar point set.
+func SGBAllCols(c geom.Cols, opt Options) (*Result, error) {
+	g, err := NewAllGrouper(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.AddCols(c); err != nil {
+		return nil, err
 	}
 	return g.Finish()
 }

@@ -15,11 +15,25 @@ import (
 // ε-neighbour, which transparently merges all candidate groups into one
 // (Procedure 9's MergeGroupsInsert).
 type AnyGrouper struct {
-	opt    Options
-	dim    int
-	points []geom.Point
-	uf     *unionfind.Forest
-	tree   *rtree.Tree // IndexBounds only (Points_IX)
+	opt  Options
+	dim  int
+	cols geom.Cols // columnar store of every processed point
+	uf   *unionfind.Forest
+	tree *rtree.Tree // IndexBounds only (Points_IX)
+
+	// Reusable kernel scratch: candidate ids gathered from the index, a
+	// columnar slab of their coordinates, and the distance/verdict buffers
+	// for one geom.WithinMask call. All are grow-once, alloc-free steady
+	// state.
+	idxBuf []int
+	scr    geom.Cols
+	dists  []float64
+	mask   []bool
+	ptBuf  geom.Point
+	// verBuf is the candidate-side scratch of the scalar verification path.
+	// It must stay distinct from ptBuf: AddCols feeds probe points through
+	// ptBuf, so reusing it inside Add would clobber p mid-scan.
+	verBuf geom.Point
 
 	stats    Stats
 	finished bool
@@ -81,49 +95,109 @@ func (g *AnyGrouper) Add(p geom.Point) (int, error) {
 			return 0, fmt.Errorf("core: zero-dimensional point")
 		}
 		g.dim = len(p)
+		g.cols = geom.NewCols(g.dim)
+		g.scr = geom.NewCols(g.dim)
 		if g.opt.Algorithm == IndexBounds {
 			g.tree = rtree.New(g.dim)
 		}
 	} else if len(p) != g.dim {
 		return 0, ErrDimensionMismatch
 	}
-	id := len(g.points)
-	g.points = append(g.points, p)
+	id := g.cols.Len()
+	g.cols.AppendPoint(p)
 	g.uf.MakeSet()
 	g.stats.Points++
 
 	switch g.opt.Algorithm {
 	case AllPairs:
-		// Naive FindCandidateGroups: probe every processed point.
-		for q := 0; q < id; q++ {
-			g.stats.DistanceComps++
-			if geom.Within(g.opt.Metric, p, g.points[q], g.opt.Eps) {
-				g.union(id, q)
+		// Naive FindCandidateGroups: probe every processed point. The probe
+		// runs block-wise through the columnar store — one WithinMask kernel
+		// call per kernelBlock rows instead of a geom.Within call per point.
+		var view geom.Cols
+		for lo := 0; lo < id; lo += kernelBlock {
+			hi := lo + kernelBlock
+			if hi > id {
+				hi = id
+			}
+			view.SliceInto(g.cols, lo, hi)
+			dists, mask := g.scratch(hi - lo)
+			g.stats.DistanceComps += int64(hi - lo)
+			geom.WithinMask(g.opt.Metric, view, p, g.opt.Eps, dists, mask)
+			for i, in := range mask[:hi-lo] {
+				if in {
+					g.union(id, lo+i)
+				}
 			}
 		}
 	case IndexBounds:
 		// FindCandidateGroups (Procedure 8): a window query on Points_IX
 		// retrieves the points within ε under L∞ exactly; under L2 the
 		// box is a conservative filter and VerifyPoints re-checks each
-		// hit with the exact distance.
+		// hit with the exact distance — gathered into a columnar slab and
+		// verified with one kernel call instead of per-hit Within calls.
 		pBox := geom.BoxAround(p, g.opt.Eps)
 		g.stats.WindowQueries++
-		verify := g.opt.Metric != geom.LInf // box hits are exact under L∞ only
+		g.idxBuf = g.idxBuf[:0]
 		g.tree.Search(pBox, func(ref int64) bool {
-			q := int(ref)
-			if verify {
-				g.stats.DistanceComps++
-				if !geom.Within(g.opt.Metric, p, g.points[q], g.opt.Eps) {
-					return true
-				}
-			}
-			g.union(id, q)
+			g.idxBuf = append(g.idxBuf, int(ref))
 			return true
 		})
+		if g.opt.Metric == geom.LInf {
+			// Box hits are exact under L∞: no verification pass.
+			for _, q := range g.idxBuf {
+				g.union(id, q)
+			}
+		} else if n := len(g.idxBuf); n <= kernelHead {
+			// Small candidate sets verify point-at-a-time: the gather copy
+			// and kernel dispatch cost more than the handful of distance
+			// computations they would batch.
+			for _, q := range g.idxBuf {
+				g.stats.DistanceComps++
+				g.verBuf = g.cols.PointAt(q, g.verBuf)
+				if geom.Within(g.opt.Metric, g.verBuf, p, g.opt.Eps) {
+					g.union(id, q)
+				}
+			}
+		} else {
+			g.scr.Gather(g.cols, g.idxBuf)
+			dists, mask := g.scratch(n)
+			g.stats.DistanceComps += int64(n)
+			geom.WithinMask(g.opt.Metric, g.scr, p, g.opt.Eps, dists, mask)
+			for i, in := range mask[:n] {
+				if in {
+					g.union(id, g.idxBuf[i])
+				}
+			}
+		}
 		g.tree.Insert(geom.PointRect(p), int64(id))
 		g.stats.IndexUpdates++
 	}
 	return id, nil
+}
+
+// scratch returns the distance and mask buffers grown to hold n rows.
+func (g *AnyGrouper) scratch(n int) ([]float64, []bool) {
+	if cap(g.dists) < n {
+		// Grow with headroom: candidate sets in dense clusters grow with
+		// every insertion, so exact-fit growth would reallocate on nearly
+		// every new running max.
+		g.dists = make([]float64, 2*n)
+		g.mask = make([]bool, 2*n)
+	}
+	return g.dists[:n], g.mask[:n]
+}
+
+// AddCols feeds every point of a columnar batch in row order, as if each had
+// been passed to Add. The coordinates are copied out of c; c is not retained.
+func (g *AnyGrouper) AddCols(c geom.Cols) error {
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		g.ptBuf = c.PointAt(i, g.ptBuf)
+		if _, err := g.Add(g.ptBuf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // union merges the groups of a and b, counting actual merges.
@@ -165,6 +239,18 @@ func SGBAny(points []geom.Point, opt Options) (*Result, error) {
 		if _, err := g.Add(p); err != nil {
 			return nil, err
 		}
+	}
+	return g.Finish()
+}
+
+// SGBAnyCols is SGBAny over a columnar point set.
+func SGBAnyCols(c geom.Cols, opt Options) (*Result, error) {
+	g, err := NewAnyGrouper(opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.AddCols(c); err != nil {
+		return nil, err
 	}
 	return g.Finish()
 }

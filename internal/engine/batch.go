@@ -29,10 +29,18 @@ type batchOperator interface {
 
 // fetchBatch pulls one batch from op: directly when op implements
 // batchOperator, otherwise through a row-at-a-time adapter so unconverted
-// operators compose with batch consumers unchanged.
-func fetchBatch(op operator, dst []Row) ([]Row, error) {
+// operators compose with batch consumers unchanged. The adapter polls qc once
+// per batch it assembles: row-at-a-time children rely on their own tick()
+// stride, but an operator chain with no batch-aware member in it would
+// otherwise only observe cancellation every cancelCheckStride next() calls
+// per operator — the poll here restores the one-check-per-batch guarantee the
+// batch contract promises regardless of what op is.
+func fetchBatch(op operator, dst []Row, qc *queryCtx) ([]Row, error) {
 	if b, ok := op.(batchOperator); ok {
 		return b.nextBatch(dst)
+	}
+	if err := qc.poll(); err != nil {
+		return nil, err
 	}
 	limit := cap(dst)
 	if limit == 0 {
@@ -111,7 +119,7 @@ func (s *indexScanOp) nextBatch(dst []Row) ([]Row, error) {
 }
 
 func (r *renameOp) nextBatch(dst []Row) ([]Row, error) {
-	return fetchBatch(r.child, dst)
+	return fetchBatch(r.child, dst, r.qc)
 }
 
 func (f *filterOp) nextBatch(dst []Row) ([]Row, error) {
@@ -121,7 +129,7 @@ func (f *filterOp) nextBatch(dst []Row) ([]Row, error) {
 	}
 	dst = dst[:0]
 	for {
-		batch, err := fetchBatch(f.child, f.buf)
+		batch, err := fetchBatch(f.child, f.buf, f.qc)
 		if err == io.EOF {
 			if len(dst) == 0 {
 				return nil, io.EOF
@@ -141,10 +149,15 @@ func (f *filterOp) nextBatch(dst []Row) ([]Row, error) {
 			}
 		}
 		// Partial batches are fine; returning as soon as anything qualified
-		// keeps latency low under selective predicates, and the child's
-		// per-batch cancellation poll bounds the qualify-nothing loop.
+		// keeps latency low under selective predicates. The qualify-nothing
+		// loop polls here itself: it must not depend on the child for
+		// cancellation, since batch-aware children over in-memory rows
+		// (valuesOp) never poll.
 		if len(dst) > 0 {
 			return dst, nil
+		}
+		if err := f.qc.poll(); err != nil {
+			return nil, err
 		}
 	}
 }
@@ -153,7 +166,7 @@ func (p *projectOp) nextBatch(dst []Row) ([]Row, error) {
 	if p.buf == nil {
 		p.buf = make([]Row, 0, batchCap(dst))
 	}
-	batch, err := fetchBatch(p.child, p.buf)
+	batch, err := fetchBatch(p.child, p.buf, p.qc)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +203,7 @@ func (l *limitOp) nextBatch(dst []Row) ([]Row, error) {
 		l.buf = make([]Row, 0, batchCap(dst))
 	}
 	for {
-		batch, err := fetchBatch(l.child, l.buf)
+		batch, err := fetchBatch(l.child, l.buf, l.qc)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +214,11 @@ func (l *limitOp) nextBatch(dst []Row) ([]Row, error) {
 			l.skipped += skip
 			batch = batch[skip:]
 			if len(batch) == 0 {
+				// Same reasoning as the filter's qualify-nothing loop: the
+				// OFFSET-skipping spin must poll for itself.
+				if err := l.qc.poll(); err != nil {
+					return nil, err
+				}
 				continue
 			}
 		}

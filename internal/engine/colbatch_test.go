@@ -1,0 +1,257 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// loadGrid populates a table with ε-grid-adversarial float coordinates:
+// exact multiples of eps nudged by ±ULP-scale deltas, the inputs most likely
+// to expose any disagreement between the row path's per-point geom.Within
+// calls and the columnar path's batch kernels.
+func loadGrid(t *testing.T, db *DB, n int, dim int, eps float64, seed int64) {
+	t.Helper()
+	cols := "x FLOAT"
+	if dim >= 2 {
+		cols += ", y FLOAT"
+	}
+	if dim >= 3 {
+		cols += ", z FLOAT"
+	}
+	if _, err := db.Exec(fmt.Sprintf("CREATE TABLE pts (id INT, %s)", cols)); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := db.Catalog().Get("pts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	deltas := []float64{0, 0, 1e-16, -1e-16, 1e-9, -1e-9, eps / 2}
+	rows := make([]Row, n)
+	for i := range rows {
+		row := Row{NewInt(int64(i))}
+		for d := 0; d < dim; d++ {
+			cell := float64(r.Intn(9) - 4)
+			row = append(row, NewFloat(cell*eps+deltas[r.Intn(len(deltas))]))
+		}
+		rows[i] = row
+	}
+	if err := tab.Insert(rows...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColumnarMatchesRowPath is the end-to-end equivalence property: every
+// eligible SGB query must return bit-identical rows whether it executes on
+// the tuple-free columnar fast path (the default) or the row-at-a-time path
+// (SetColumnar(false)), across metrics, semantics, algorithms, ε values, and
+// worker counts. Run under -race this also exercises the parallel columnar
+// collection.
+func TestColumnarMatchesRowPath(t *testing.T) {
+	for _, dim := range []int{1, 2} {
+		for _, eps := range []float64{0.25, 1.0} {
+			db := NewDB()
+			loadGrid(t, db, 900, dim, eps, int64(100*dim)+int64(eps*4))
+			db.SetBatchSize(64) // many morsels; table > one batch enables parallel plans
+			group := "x"
+			if dim == 2 {
+				group = "x, y"
+			}
+			var queries []string
+			for _, m := range []string{"L2", "LINF", "L1"} {
+				queries = append(queries,
+					fmt.Sprintf("SELECT %s, count(*) FROM pts GROUP BY %s DISTANCE-TO-ANY %s WITHIN %g", group, group, m, eps),
+					fmt.Sprintf("SELECT %s, count(*) FROM pts WHERE id < 700 GROUP BY %s DISTANCE-TO-ANY %s WITHIN %g", group, group, m, eps),
+					fmt.Sprintf("SELECT %s, count(*) FROM pts GROUP BY %s DISTANCE-TO-ALL %s WITHIN %g ON-OVERLAP JOIN-ANY", group, group, m, eps),
+					fmt.Sprintf("SELECT %s, count(*) FROM pts GROUP BY %s DISTANCE-TO-ALL %s WITHIN %g ON-OVERLAP ELIMINATE", group, group, m, eps),
+					fmt.Sprintf("SELECT %s, count(*) FROM pts GROUP BY %s DISTANCE-TO-ALL %s WITHIN %g ON-OVERLAP FORM-NEW-GROUP", group, group, m, eps),
+				)
+			}
+			for _, q := range queries {
+				for _, workers := range []int{1, 2, 4} {
+					db.SetParallelism(workers)
+					db.SetColumnar(false)
+					want, err := db.Query(q)
+					if err != nil {
+						t.Fatalf("%s (row, %d workers): %v", q, workers, err)
+					}
+					db.SetColumnar(true)
+					got, err := db.Query(q)
+					if err != nil {
+						t.Fatalf("%s (columnar, %d workers): %v", q, workers, err)
+					}
+					if !reflect.DeepEqual(rowStrings(got), rowStrings(want)) {
+						t.Fatalf("%s with %d workers: columnar path differs from row path\ncolumnar: %v\nrow:      %v",
+							q, workers, rowStrings(got), rowStrings(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestColumnarPlanGate pins the fast-path eligibility decision: the plans
+// that must take it take it, and every disqualifier (session toggle,
+// non-count(*) aggregate, computed grouping expression, non-FLOAT grouping
+// column, projection in the pipeline) falls back to the row path.
+func TestColumnarPlanGate(t *testing.T) {
+	db := NewDB()
+	loadNums(t, db, 100, 17)
+	qc := newQueryCtx(context.Background(), Limits{})
+
+	plan := func(q string, noColumnar bool) *sgbAggOp {
+		t.Helper()
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		qc.noColumnar = noColumnar
+		pc := &planContext{db: db, qc: qc}
+		if _, err := pc.planSelect(stmt.(*SelectStmt)); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if len(pc.sgbOps) != 1 {
+			t.Fatalf("%s: %d SGB operators, want 1", q, len(pc.sgbOps))
+		}
+		return pc.sgbOps[0]
+	}
+
+	eligible := []string{
+		"SELECT x, y, count(*) FROM nums GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 3",
+		"SELECT x, count(*) FROM nums WHERE v > 100 GROUP BY x DISTANCE-TO-ANY L1 WITHIN 2",
+		"SELECT x, y, count(*) FROM nums GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE",
+	}
+	for _, q := range eligible {
+		if op := plan(q, false); op.colPlan == nil {
+			t.Errorf("%s: expected the columnar fast path, got row path", q)
+		}
+		if op := plan(q, true); op.colPlan != nil {
+			t.Errorf("%s: SetColumnar(false) must force the row path", q)
+		}
+	}
+	rowPath := []string{
+		// min(id) needs tuple access.
+		"SELECT count(*), min(id) FROM nums GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 3",
+		// count(v) is not count(*).
+		"SELECT count(v) FROM nums GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 3",
+		// Computed grouping expression.
+		"SELECT count(*) FROM nums GROUP BY x + 1, y DISTANCE-TO-ANY L2 WITHIN 3",
+		// INT grouping column: the stored Value is not a float.
+		"SELECT count(*) FROM nums GROUP BY k, v DISTANCE-TO-ANY L2 WITHIN 3",
+		// Subquery predicate: fragment extraction fails.
+		"SELECT count(*) FROM nums WHERE v > (SELECT min(v) FROM nums) GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 3",
+	}
+	for _, q := range rowPath {
+		if op := plan(q, false); op.colPlan != nil {
+			t.Errorf("%s: must not take the columnar fast path", q)
+		}
+	}
+}
+
+// TestColumnarRespectsLimits pins that the fast path charges collected rows
+// against MaxRowsMaterialized exactly like the row collectors do.
+func TestColumnarRespectsLimits(t *testing.T) {
+	db := NewDB()
+	loadNums(t, db, 3000, 19)
+	db.SetLimits(Limits{MaxRowsMaterialized: 500})
+	_, err := db.Query("SELECT x, y, count(*) FROM nums GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 3")
+	var rle *ResourceLimitError
+	if !errors.As(err, &rle) {
+		t.Fatalf("err = %v, want ResourceLimitError", err)
+	}
+}
+
+// alwaysFalse compiles to a predicate no row satisfies.
+func alwaysFalse(Row) (Value, error) { return NewBool(false), nil }
+
+// TestFilterCancellationNonBatchChild pins the fix for the cancellation hole
+// in the batch fallback: a qualify-nothing filter over an operator chain with
+// no batch-aware member (distinctOp adapts row-at-a-time) must observe a
+// canceled statement within one batch, not after scanning the whole input —
+// and must not spin forever on an infinite source.
+func TestFilterCancellationNonBatchChild(t *testing.T) {
+	rows := make([]Row, 200000)
+	for i := range rows {
+		rows[i] = Row{NewInt(int64(i))}
+	}
+	sch := Schema{{Name: "id", T: TypeInt}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the first batch
+	qc := newQueryCtx(ctx, Limits{})
+	f := &filterOp{
+		child: &distinctOp{child: &valuesOp{rows: rows, sch: sch}},
+		pred:  alwaysFalse,
+		qc:    qc,
+	}
+	if err := f.open(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.close()
+	_, err := f.nextBatch(make([]Row, 0, 64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("nextBatch = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchBufferRetainContract pins the batchOperator contract: rows a
+// consumer retains from a returned batch must stay valid (same contents)
+// after subsequent nextBatch calls reuse the destination buffer, through a
+// rename→project→filter→limit stack over a values source.
+func TestBatchBufferRetainContract(t *testing.T) {
+	n := 10 * defaultBatchSize
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{NewInt(int64(i)), NewString(fmt.Sprintf("s%d", i))}
+	}
+	sch := Schema{{Name: "id", T: TypeInt}, {Name: "s", T: TypeString}}
+	qc := newQueryCtx(context.Background(), Limits{})
+	var op operator = &valuesOp{rows: rows, sch: sch}
+	op = &renameOp{child: op, sch: sch, qc: qc}
+	op = &projectOp{child: op, sch: sch, fns: []evalFn{
+		func(r Row) (Value, error) { return r[0], nil },
+		func(r Row) (Value, error) { return r[1], nil },
+	}, qc: qc}
+	op = &filterOp{child: op, pred: func(r Row) (Value, error) {
+		return NewBool(r[0].I%3 != 1), nil
+	}, qc: qc}
+	op = &limitOp{child: op, n: n, offset: 5, qc: qc}
+	if err := op.open(); err != nil {
+		t.Fatal(err)
+	}
+	defer op.close()
+
+	b := op.(batchOperator)
+	type kept struct {
+		row  Row
+		want []Value
+	}
+	var retained []kept
+	buf := make([]Row, 0, 128)
+	for {
+		batch, err := b.nextBatch(buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Retain a reference to the first row of every batch, with a deep
+		// copy of its expected contents.
+		r := batch[0]
+		retained = append(retained, kept{row: r, want: append([]Value(nil), r...)})
+		buf = batch // hand the same header back, as materialize does
+	}
+	if len(retained) < 10 {
+		t.Fatalf("only %d batches seen, want >= 10", len(retained))
+	}
+	for i, k := range retained {
+		if !reflect.DeepEqual([]Value(k.row), k.want) {
+			t.Fatalf("retained row from batch %d was clobbered by a later nextBatch: %v != %v", i, k.row, k.want)
+		}
+	}
+}

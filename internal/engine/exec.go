@@ -30,7 +30,7 @@ func materialize(op operator, qc *queryCtx) ([]Row, error) {
 	var rows []Row
 	buf := make([]Row, 0, qc.batchSize())
 	for {
-		batch, err := fetchBatch(op, buf)
+		batch, err := fetchBatch(op, buf, qc)
 		if err == io.EOF {
 			return rows, nil
 		}
@@ -116,6 +116,10 @@ type filterOp struct {
 	// caches), making the filter eligible for a morsel-parallel fragment.
 	parSafe bool
 	buf     []Row // reused child batch buffer for nextBatch
+	// qc bounds the qualify-nothing loop in nextBatch: a highly selective
+	// filter may consume many child batches before producing a row, and the
+	// child cannot be relied on to poll (see fetchBatch).
+	qc *queryCtx
 }
 
 func (f *filterOp) schema() Schema { return f.child.schema() }
@@ -148,6 +152,7 @@ type projectOp struct {
 	// projection eligible for a morsel-parallel fragment.
 	parSafe bool
 	buf     []Row // reused child batch buffer for nextBatch
+	qc      *queryCtx
 }
 
 func (p *projectOp) schema() Schema { return p.sch }
@@ -411,6 +416,7 @@ type limitOp struct {
 	seen    int
 	skipped int
 	buf     []Row // reused child batch buffer for nextBatch
+	qc      *queryCtx
 }
 
 func (l *limitOp) schema() Schema { return l.child.schema() }
@@ -593,7 +599,7 @@ func (a *hashAggOp) buildSerial(tbl *aggTable) error {
 	defer a.child.close()
 	buf := make([]Row, 0, a.qc.batchSize())
 	for {
-		batch, err := fetchBatch(a.child, buf)
+		batch, err := fetchBatch(a.child, buf, a.qc)
 		if err == io.EOF {
 			return nil
 		}
@@ -675,6 +681,11 @@ type sgbAggOp struct {
 	frag    *morselFragment
 	workers int
 
+	// colPlan, when set by the planner, routes open() through the tuple-free
+	// columnar fast path (see colbatch.go). It subsumes frag/workers: its own
+	// worker count decides the serial/parallel grouping split.
+	colPlan *colPlan
+
 	rows []Row
 	pos  int
 
@@ -703,7 +714,7 @@ func (a *sgbAggOp) collectSerial() ([]Row, error) {
 	var tuples []Row
 	buf := make([]Row, 0, a.qc.batchSize())
 	for {
-		batch, err := fetchBatch(a.child, buf)
+		batch, err := fetchBatch(a.child, buf, a.qc)
 		if err == io.EOF {
 			return tuples, nil
 		}
@@ -747,65 +758,64 @@ func (a *sgbAggOp) collectParallel() ([]Row, error) {
 	return tuples, nil
 }
 
-// pointsOf maps the tuples onto grouping-space points. All points are carved
-// out of one flat coordinate arena — a single allocation instead of one per
-// row, which the hot path of every SGB query used to pay.
-func (a *sgbAggOp) pointsOf(tuples []Row) ([]geom.Point, error) {
+// colsOf maps the tuples onto the columnar grouping-space point set: one flat
+// float64 column per grouping expression, carved out of a single arena. The
+// columns flow straight into the core groupers' batch entry points, so the
+// engine never materializes per-row Point slices on the SGB hot path.
+func (a *sgbAggOp) colsOf(tuples []Row) (geom.Cols, error) {
 	dim := len(a.groupExprs)
-	arena := make([]float64, len(tuples)*dim)
-	pts := make([]geom.Point, len(tuples))
-	for t, r := range tuples {
-		p := geom.Point(arena[t*dim : (t+1)*dim : (t+1)*dim])
-		for i, g := range a.groupExprs {
+	cols := geom.MakeCols(dim, len(tuples))
+	for i, g := range a.groupExprs {
+		col := cols.Col(i)
+		for t, r := range tuples {
 			v, err := g(r)
 			if err != nil {
-				return nil, err
+				return geom.Cols{}, err
 			}
 			if v.IsNull() {
-				return nil, fmt.Errorf("engine: NULL in similarity grouping attribute %d", i+1)
+				return geom.Cols{}, fmt.Errorf("engine: NULL in similarity grouping attribute %d", i+1)
 			}
-			if p[i], err = v.AsFloat(); err != nil {
-				return nil, fmt.Errorf("engine: similarity grouping attribute %d: %v", i+1, err)
+			if col[t], err = v.AsFloat(); err != nil {
+				return geom.Cols{}, fmt.Errorf("engine: similarity grouping attribute %d: %v", i+1, err)
 			}
 		}
-		pts[t] = p
 	}
-	return pts, nil
+	return cols, nil
 }
 
-// groupSerial feeds the points through the single-threaded core grouper
-// matching the spec's mode and the session's algorithm.
-func (a *sgbAggOp) groupSerial(points []geom.Point, opt core.Options) (*core.Result, error) {
-	var addPoint func(geom.Point) (int, error)
-	var finish func() (*core.Result, error)
+// groupSerial feeds the columnar point set through the single-threaded core
+// grouper matching the spec's mode and the session's algorithm.
+func (a *sgbAggOp) groupSerial(pts geom.Cols, opt core.Options) (*core.Result, error) {
 	if a.spec.Mode == SGBAllMode {
 		g, err := core.NewAllGrouper(opt)
 		if err != nil {
 			return nil, err
 		}
 		g.WithContext(a.qc.context())
-		addPoint, finish = g.Add, g.Finish
-	} else {
-		if opt.Algorithm == core.BoundsChecking {
-			opt.Algorithm = core.IndexBounds // SGB-Any has no bounds variant
-		}
-		g, err := core.NewAnyGrouper(opt)
-		if err != nil {
+		if err := g.AddCols(pts); err != nil {
 			return nil, err
 		}
-		g.WithContext(a.qc.context())
-		addPoint, finish = g.Add, g.Finish
+		return g.Finish()
 	}
-	for _, p := range points {
-		if _, err := addPoint(p); err != nil {
-			return nil, err
-		}
+	if opt.Algorithm == core.BoundsChecking {
+		opt.Algorithm = core.IndexBounds // SGB-Any has no bounds variant
 	}
-	return finish()
+	g, err := core.NewAnyGrouper(opt)
+	if err != nil {
+		return nil, err
+	}
+	g.WithContext(a.qc.context())
+	if err := g.AddCols(pts); err != nil {
+		return nil, err
+	}
+	return g.Finish()
 }
 
 func (a *sgbAggOp) open() error {
 	a.lastWorkers, a.lastMorsels = 0, 0
+	if a.colPlan != nil {
+		return a.openColumnar()
+	}
 	parallel := a.frag != nil && a.workers > 1 && a.spec.Mode == SGBAnyMode
 	var tuples []Row
 	var err error
@@ -822,7 +832,7 @@ func (a *sgbAggOp) open() error {
 		a.pos = 0
 		return nil
 	}
-	points, err := a.pointsOf(tuples)
+	cols, err := a.colsOf(tuples)
 	if err != nil {
 		return err
 	}
@@ -834,9 +844,9 @@ func (a *sgbAggOp) open() error {
 	}
 	var res *core.Result
 	if parallel {
-		res, err = core.SGBAnyParallelCtx(a.qc.context(), points, opt, a.workers)
+		res, err = core.SGBAnyParallelColsCtx(a.qc.context(), cols, opt, a.workers)
 	} else {
-		res, err = a.groupSerial(points, opt)
+		res, err = a.groupSerial(cols, opt)
 	}
 	if err != nil {
 		return err

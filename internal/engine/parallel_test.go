@@ -284,9 +284,9 @@ func TestParallelRowLimitAcrossWorkers(t *testing.T) {
 	}
 }
 
-// TestPointConversionAllocs pins the allocation profile of the row→point
-// conversion: one coordinate arena plus one point-header slice, regardless of
-// tuple count — not one allocation per row.
+// TestPointConversionAllocs pins the allocation profile of the row→column
+// conversion: one coordinate arena plus one column-header slice, regardless
+// of tuple count — not one allocation per row.
 func TestPointConversionAllocs(t *testing.T) {
 	op := &sgbAggOp{groupExprs: []evalFn{
 		func(r Row) (Value, error) { return r[0], nil },
@@ -297,12 +297,12 @@ func TestPointConversionAllocs(t *testing.T) {
 		tuples[i] = Row{NewFloat(float64(i)), NewFloat(float64(i * 2))}
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		if _, err := op.pointsOf(tuples); err != nil {
+		if _, err := op.colsOf(tuples); err != nil {
 			t.Fatal(err)
 		}
 	})
 	if allocs > 2 {
-		t.Fatalf("pointsOf allocates %v times per run, want <= 2 (arena + headers)", allocs)
+		t.Fatalf("colsOf allocates %v times per run, want <= 2 (arena + headers)", allocs)
 	}
 }
 
@@ -319,7 +319,7 @@ func BenchmarkPointConversion(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := op.pointsOf(tuples); err != nil {
+		if _, err := op.colsOf(tuples); err != nil {
 			b.Fatal(err)
 		}
 	}

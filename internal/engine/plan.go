@@ -43,6 +43,7 @@ func (pc *planContext) run(stmt *SelectStmt) ([]Row, Schema, error) {
 type renameOp struct {
 	child operator
 	sch   Schema
+	qc    *queryCtx
 }
 
 func (r *renameOp) schema() Schema     { return r.sch }
@@ -68,7 +69,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 			if err != nil {
 				return nil, err
 			}
-			src = &renameOp{child: sub, sch: sub.schema().Qualify(item.Alias)}
+			src = &renameOp{child: sub, sch: sub.schema().Qualify(item.Alias), qc: pc.qc}
 		default:
 			if view, ok := pc.db.cat.View(item.Table); ok {
 				if pc.viewDepth >= 16 {
@@ -80,7 +81,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, fmt.Errorf("engine: view %s: %w", item.Table, err)
 				}
-				src = &renameOp{child: sub, sch: sub.schema().Qualify(item.Alias)}
+				src = &renameOp{child: sub, sch: sub.schema().Qualify(item.Alias), qc: pc.qc}
 				break
 			}
 			t, err := pc.db.cat.Get(item.Table)
@@ -112,7 +113,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				sources[i] = &filterOp{child: sources[i], pred: pred, parSafe: exprParallelSafe(c)}
+				sources[i] = &filterOp{child: sources[i], pred: pred, parSafe: exprParallelSafe(c), qc: pc.qc}
 			} else {
 				rest = append(rest, c)
 			}
@@ -172,7 +173,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c)}
+				cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c), qc: pc.qc}
 			} else {
 				still = append(still, c)
 			}
@@ -184,7 +185,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c)}
+		cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c), qc: pc.qc}
 	}
 
 	// Aggregation path?
@@ -227,7 +228,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 		out = &distinctOp{child: out}
 	}
 	if stmt.Offset > 0 || stmt.Limit >= 0 {
-		out = &limitOp{child: out, n: stmt.Limit, offset: stmt.Offset}
+		out = &limitOp{child: out, n: stmt.Limit, offset: stmt.Offset, qc: pc.qc}
 	}
 	return out, nil
 }
@@ -342,7 +343,7 @@ func (pc *planContext) planProjection(items []SelectItem, child operator) (opera
 		fns = append(fns, f)
 		sch = append(sch, Column{Name: outputName(it, i), T: inferType(it.Expr, child.schema())})
 	}
-	return &projectOp{child: child, sch: sch, fns: fns, parSafe: safe}, sch, nil
+	return &projectOp{child: child, sch: sch, fns: fns, parSafe: safe, qc: pc.qc}, sch, nil
 }
 
 // planAggregate lowers a grouped (or globally aggregated) SELECT:
@@ -418,6 +419,7 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 			qc:         pc.qc,
 		}
 		pc.markParallelSGB(op, groupExprs, rw)
+		pc.markColumnarSGB(op, groupExprs, rw)
 		pc.sgbOps = append(pc.sgbOps, op)
 		aggOp = op
 	} else {
@@ -432,7 +434,7 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 		if err != nil {
 			return nil, err
 		}
-		cur = &filterOp{child: cur, pred: pred}
+		cur = &filterOp{child: cur, pred: pred, qc: pc.qc}
 	}
 	if len(orderExprs) > 0 {
 		keys := make([]evalFn, len(orderExprs))
@@ -457,7 +459,7 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 		fns = append(fns, f)
 		outSchema = append(outSchema, Column{Name: outputName(stmt.Select[i], i), T: inferType(e, internal)})
 	}
-	return &projectOp{child: cur, sch: outSchema, fns: fns}, nil
+	return &projectOp{child: cur, sch: outSchema, fns: fns, qc: pc.qc}, nil
 }
 
 // parallelFragment vets an aggregation input pipeline for morsel parallelism:

@@ -25,6 +25,12 @@ type Settings struct {
 	Parallelism int
 	// BatchSize is the batch/morsel row count; 0 = the engine default.
 	BatchSize int
+	// NoColumnar disables the columnar SGB fast path (flat coordinate
+	// columns + batch distance kernels, bypassing per-tuple Row
+	// materialization for eligible plans). The zero value keeps it enabled;
+	// disabling is mainly useful for benchmarks comparing against the
+	// row-at-a-time path.
+	NoColumnar bool
 }
 
 // Session is a per-client view of a shared DB: it carries its own Settings
@@ -93,6 +99,14 @@ func (s *Session) SetBatchSize(n int) {
 	}
 	s.mu.Lock()
 	s.set.BatchSize = n
+	s.mu.Unlock()
+}
+
+// SetColumnar enables or disables the columnar SGB fast path for subsequent
+// statements on this session only. It is enabled by default.
+func (s *Session) SetColumnar(on bool) {
+	s.mu.Lock()
+	s.set.NoColumnar = !on
 	s.mu.Unlock()
 }
 

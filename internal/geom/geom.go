@@ -120,17 +120,44 @@ func Dist(m Metric, p, q Point) float64 {
 	}
 }
 
+// withinSmallDim is the dimensionality up to which Within accumulates the
+// whole distance before comparing. The per-coordinate early-exit branch is
+// only worth its misprediction cost on long coordinate vectors; for the 2-D
+// and 3-D hot cases a straight-line accumulate-then-compare body is both
+// faster (it vectorizes) and exactly the operation chain the batch kernels
+// in kernel.go use.
+const withinSmallDim = 4
+
 // Within evaluates the similarity predicate ξ(δ,ε): it reports whether
-// δ(p,q) ≤ eps. For L2 the comparison is performed on squared distances to
-// avoid the square root on the hot path.
+// δ(p,q) ≤ eps — equivalently, Dist(m, p, q) <= eps, for every input
+// including NaN/±Inf coordinates and non-positive or non-finite ε (the
+// equivalence is pinned by TestWithinMatchesDist and
+// TestWithinEquivalenceSpecialValues). For L2 the comparison is performed on
+// squared distances to avoid the square root on the hot path; a negative ε
+// therefore needs an explicit guard, since squaring it would flip its sign
+// and match points a negative threshold must reject. The squared compare is
+// the authoritative L2 semantics (shared bit-for-bit with the batch kernels
+// in kernel.go); it can disagree with the sqrt-bearing Dist compare only
+// when ε sits within one ulp of the true distance, where both roundings are
+// defensible.
 func Within(m Metric, p, q Point, eps float64) bool {
 	if len(p) != len(q) {
 		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(p), len(q)))
 	}
 	switch m {
 	case L2:
-		var s float64
+		if eps < 0 {
+			return false
+		}
 		e2 := eps * eps
+		var s float64
+		if len(p) <= withinSmallDim {
+			for i := range p {
+				d := p[i] - q[i]
+				s += d * d
+			}
+			return s <= e2
+		}
 		for i := range p {
 			d := p[i] - q[i]
 			s += d * d
@@ -140,6 +167,22 @@ func Within(m Metric, p, q Point, eps float64) bool {
 		}
 		return s <= e2
 	case LInf:
+		if len(p) <= withinSmallDim {
+			// Accumulate the running maximum exactly like Dist does (strict
+			// >, starting at 0), then compare once — the final compare is
+			// false for NaN ε, where a per-coordinate `d > eps` test would
+			// never fire and wrongly accept.
+			var mx float64
+			for i := range p {
+				if d := math.Abs(p[i] - q[i]); d > mx {
+					mx = d
+				}
+			}
+			return mx <= eps
+		}
+		if !(eps >= 0) {
+			return false // negative or NaN ε matches nothing
+		}
 		for i := range p {
 			d := math.Abs(p[i] - q[i])
 			if d > eps {
@@ -149,13 +192,22 @@ func Within(m Metric, p, q Point, eps float64) bool {
 		return true
 	case L1:
 		var s float64
+		if len(p) <= withinSmallDim {
+			for i := range p {
+				s += math.Abs(p[i] - q[i])
+			}
+			return s <= eps
+		}
 		for i := range p {
 			s += math.Abs(p[i] - q[i])
 			if s > eps {
 				return false
 			}
 		}
-		return true
+		// Not `return true`: s may be NaN (a NaN coordinate never trips the
+		// early exit because NaN compares false), and NaN ≤ ε must reject
+		// just as Dist(p,q) <= eps does.
+		return s <= eps
 	default:
 		panic("geom: unknown metric")
 	}
