@@ -7,8 +7,10 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -84,18 +86,45 @@ type kernelProbeResult struct {
 	Matches     int     `json:"matches"`
 }
 
-// benchDoc is the whole machine-readable snapshot.
+// plannerProbeResult is one cost-based-planner probe: the same query timed
+// under every manual \alg override and under auto selection, plus what the
+// planner actually chose (parsed from EXPLAIN) and how far its cardinality
+// estimate was from the measured row count (from EXPLAIN ANALYZE). The
+// machine-portable signals are the ratios: auto_vs_best ≈ 1 means cost-based
+// selection found the best manual choice, speedup_vs_default > 1 means it
+// beat the old fixed on-the-fly-index default.
+type plannerProbeResult struct {
+	Name             string             `json:"name"`
+	Query            string             `json:"query"`
+	N                int                `json:"n"`
+	Eps              float64            `json:"eps"`
+	ChosenAlg        string             `json:"chosen_alg"`
+	AutoP50MS        float64            `json:"auto_p50_ms"`
+	ManualP50MS      map[string]float64 `json:"manual_p50_ms"`
+	BestManualAlg    string             `json:"best_manual_alg"`
+	BestManualP50MS  float64            `json:"best_manual_p50_ms"`
+	DefaultP50MS     float64            `json:"default_p50_ms"`
+	AutoVsBest       float64            `json:"auto_vs_best"`
+	SpeedupVsDefault float64            `json:"speedup_vs_default"`
+	EstRows          float64            `json:"est_rows"`
+	ActualRows       int                `json:"actual_rows"`
+	EstRowsError     float64            `json:"est_rows_error"`
+}
+
+// benchDoc is the whole machine-readable snapshot. planner_probes is a
+// schema-v3-additive section: older documents simply lack it.
 type benchDoc struct {
-	SchemaVersion int                 `json:"schema_version"`
-	Dataset       string              `json:"dataset"`
-	N             int                 `json:"n"`
-	Seed          int64               `json:"seed"`
-	Workers       int                 `json:"workers"`
-	Batch         int                 `json:"batch"`
-	GOMAXPROCS    int                 `json:"gomaxprocs"`
-	Runs          []probeResult       `json:"runs"`
-	KernelProbes  []kernelProbeResult `json:"kernel_probes"`
-	Metrics       obs.Snapshot        `json:"metrics"`
+	SchemaVersion int                  `json:"schema_version"`
+	Dataset       string               `json:"dataset"`
+	N             int                  `json:"n"`
+	Seed          int64                `json:"seed"`
+	Workers       int                  `json:"workers"`
+	Batch         int                  `json:"batch"`
+	GOMAXPROCS    int                  `json:"gomaxprocs"`
+	Runs          []probeResult        `json:"runs"`
+	KernelProbes  []kernelProbeResult  `json:"kernel_probes"`
+	PlannerProbes []plannerProbeResult `json:"planner_probes,omitempty"`
+	Metrics       obs.Snapshot         `json:"metrics"`
 }
 
 // probeReps is how many times each probe variant runs. The minimum wall time
@@ -356,6 +385,11 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 		doc.Runs = append(doc.Runs, run)
 	}
 	doc.KernelProbes = runKernelProbes(n, seed)
+	planner, err := runPlannerProbes(db, n, seed, timeout)
+	if err != nil {
+		return nil, err
+	}
+	doc.PlannerProbes = planner
 	doc.Metrics = db.Metrics().Snapshot()
 
 	f, err := os.Create(path)
@@ -373,6 +407,211 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return &doc, nil
+}
+
+// chosenAlgRe extracts the SGB algorithm label from an EXPLAIN plan line.
+var chosenAlgRe = regexp.MustCompile(`\[(All-Pairs|Bounds-Checking|on-the-fly Index)\]`)
+
+// estActualRe extracts the planner estimate and the measured row count from
+// an EXPLAIN ANALYZE root line.
+var estActualRe = regexp.MustCompile(`est_rows=(\d+).*actual rows=(\d+)`)
+
+// plannerReps is the per-variant rep count for the planner probes: higher
+// than probeReps because the small-table probes finish in ~0.1ms, where a
+// single scheduler hiccup shifts the p50 of a small sample enough to trip the
+// gate.
+const plannerReps = 15
+
+// plannerVariant is one timed configuration (a manual algorithm override or
+// auto) of a planner probe.
+type plannerVariant struct {
+	name string
+	set  func()
+}
+
+// timeVariantsP50 times every variant of one query with interleaved reps:
+// round-robin over the variants, one execution each per round, p50 per
+// variant. Interleaving matters because the variants are compared against
+// each other — timing each in its own sequential block lets load drift
+// during the run bias whole blocks, which showed up as an auto run measuring
+// far from the manual run of the very algorithm it had chosen. The first
+// round is a discarded warmup.
+func timeVariantsP50(db *engine.DB, q string, variants []plannerVariant, timeout time.Duration) (map[string]time.Duration, map[string]*engine.Result, error) {
+	samples := make(map[string][]time.Duration, len(variants))
+	results := make(map[string]*engine.Result, len(variants))
+	fastest := make(map[string]time.Duration, len(variants))
+	for rep := 0; rep <= plannerReps; rep++ {
+		runtime.GC()
+		for i := range variants {
+			// Rotate the starting variant: the first execution after the GC
+			// pays a cache-cold penalty, and it must not always hit the same
+			// variant.
+			v := variants[(i+rep)%len(variants)]
+			v.set()
+			ctx, cancel := context.Background(), func() {}
+			if timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+			}
+			start := time.Now()
+			res, err := db.ExecContext(ctx, q)
+			wall := time.Since(start)
+			cancel()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", v.name, err)
+			}
+			if rep == 0 {
+				continue // warmup round
+			}
+			samples[v.name] = append(samples[v.name], wall)
+			if _, ok := results[v.name]; !ok || wall < fastest[v.name] {
+				fastest[v.name], results[v.name] = wall, res
+			}
+		}
+	}
+	p50s := make(map[string]time.Duration, len(variants))
+	for name, s := range samples {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		p50s[name] = percentile(s, 50)
+	}
+	return p50s, results, nil
+}
+
+// runPlannerProbes times the cost-based SGB algorithm selection against every
+// manual override on shapes where the best choice differs: a small table
+// (below the index algorithms' breakeven, where All-Pairs wins and the old
+// fixed index default loses) and the full check-in table (where the on-the-fly
+// index wins). Each probe also records the algorithm the planner actually
+// chose and the est-vs-actual row error of the aggregation's cardinality
+// estimate, so the cost model itself is regression-tracked, not just the wall
+// times.
+func runPlannerProbes(db *engine.DB, n int, seed int64, timeout time.Duration) ([]plannerProbeResult, error) {
+	const smallN = 200
+	small := checkin.Generate(checkin.Config{N: smallN, Seed: seed + 1})
+	if err := checkin.Load(db, "checkins_small", small); err != nil {
+		return nil, err
+	}
+	if _, err := db.Exec("ANALYZE"); err != nil {
+		return nil, err
+	}
+
+	type probe struct {
+		name  string
+		query string
+		size  int
+		eps   float64
+		all   bool // DISTANCE-TO-ALL: Bounds-Checking is a candidate too
+	}
+	probes := []probe{
+		{"planner_small_any_l2",
+			"SELECT count(*) FROM checkins_small GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN 0.25",
+			smallN, 0.25, false},
+		{"planner_small_all_linf",
+			"SELECT count(*) FROM checkins_small GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN 0.25 ON-OVERLAP JOIN-ANY",
+			smallN, 0.25, true},
+		{"planner_large_any_l2",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ANY L2 WITHIN %g", 0.25),
+			n, 0.25, false},
+		{"planner_large_all_linf",
+			fmt.Sprintf("SELECT count(*) FROM checkins GROUP BY lat, lon DISTANCE-TO-ALL LINF WITHIN %g ON-OVERLAP ELIMINATE", 0.25),
+			n, 0.25, true},
+	}
+
+	var out []plannerProbeResult
+	for _, p := range probes {
+		manual := map[string]core.Algorithm{
+			"allpairs": core.AllPairs,
+			"index":    core.IndexBounds,
+		}
+		if p.all {
+			manual["bounds"] = core.BoundsChecking
+		}
+		res := plannerProbeResult{
+			Name: p.name, Query: p.query, N: p.size, Eps: p.eps,
+			ManualP50MS: make(map[string]float64, len(manual)),
+		}
+		variants := []plannerVariant{{"auto", db.SetSGBAlgorithmAuto}}
+		for name, alg := range manual {
+			a := alg
+			variants = append(variants, plannerVariant{name, func() { db.SetSGBAlgorithm(a) }})
+		}
+		p50s, runs, err := timeVariantsP50(db, p.query, variants, timeout)
+		if err != nil {
+			return nil, fmt.Errorf("planner probe %s: %w", p.name, err)
+		}
+		db.SetSGBAlgorithmAuto()
+		wantRows := -1
+		for name := range manual {
+			ms := float64(p50s[name].Nanoseconds()) / 1e6
+			res.ManualP50MS[name] = ms
+			if res.BestManualAlg == "" || ms < res.BestManualP50MS {
+				res.BestManualAlg, res.BestManualP50MS = name, ms
+			}
+			if name == "index" {
+				// The fixed pre-planner default, the speedup baseline.
+				res.DefaultP50MS = ms
+			}
+			wantRows = len(runs[name].Rows)
+		}
+		if got := len(runs["auto"].Rows); got != wantRows {
+			return nil, fmt.Errorf("planner probe %s: auto returned %d rows, manual %d",
+				p.name, got, wantRows)
+		}
+		res.AutoP50MS = float64(p50s["auto"].Nanoseconds()) / 1e6
+		res.ActualRows = wantRows
+		if res.BestManualP50MS > 0 {
+			res.AutoVsBest = res.AutoP50MS / res.BestManualP50MS
+		}
+		if res.AutoP50MS > 0 {
+			res.SpeedupVsDefault = res.DefaultP50MS / res.AutoP50MS
+		}
+
+		// What did the planner pick, and how good was its cardinality estimate?
+		plan, err := db.Exec("EXPLAIN ANALYZE " + p.query)
+		if err != nil {
+			return nil, fmt.Errorf("planner probe %s (explain): %w", p.name, err)
+		}
+		for _, row := range plan.Rows {
+			line := row[0].String()
+			if m := chosenAlgRe.FindStringSubmatch(line); m != nil && res.ChosenAlg == "" {
+				res.ChosenAlg = m[1]
+			}
+			if m := estActualRe.FindStringSubmatch(line); m != nil && res.EstRows == 0 {
+				est, _ := strconv.ParseFloat(m[1], 64)
+				actual, _ := strconv.Atoi(m[2])
+				res.EstRows = est
+				denom := float64(actual)
+				if denom < 1 {
+					denom = 1
+				}
+				res.EstRowsError = math.Abs(est-float64(actual)) / denom
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// gatePlanner fails when cost-based selection left too much on the table: any
+// planner probe whose auto p50 exceeds maxRatio times its best manual p50.
+func gatePlanner(doc *benchDoc, maxRatio float64) error {
+	var failures []string
+	for _, pp := range doc.PlannerProbes {
+		if pp.BestManualP50MS <= 0 {
+			continue
+		}
+		if pp.AutoP50MS > pp.BestManualP50MS*maxRatio {
+			failures = append(failures, fmt.Sprintf(
+				"%s: auto %.3fms vs best manual (%s) %.3fms — ratio %.2f exceeds %.2f",
+				pp.Name, pp.AutoP50MS, pp.BestManualAlg, pp.BestManualP50MS,
+				pp.AutoVsBest, maxRatio))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("planner regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "gate: %d planner probes within %.2fx of their best manual algorithm\n",
+		len(doc.PlannerProbes), maxRatio)
+	return nil
 }
 
 // gateAgainst compares a fresh snapshot's kernel probes against a committed

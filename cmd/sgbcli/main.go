@@ -9,7 +9,8 @@
 //	\tables              list tables
 //	\load tpch <SF>      generate and load TPC-H-style data
 //	\load checkin <N>    generate and load a check-in table ("checkins")
-//	\alg <name>          pick the SGB algorithm: allpairs | bounds | index
+//	\alg <name>          pick the SGB algorithm: auto (cost-based, the
+//	                     default) | allpairs | bounds | index
 //	\parallel [<n>]      set the morsel worker count (0 = auto/GOMAXPROCS,
 //	                     1 = serial; no args: show the resolved count)
 //	\batch [<n>]         set the batch/morsel row count (0 = engine default;
@@ -246,10 +247,12 @@ func meta(s *session, cmd string) bool {
 		}
 	case "\\alg":
 		if len(fields) != 2 {
-			fmt.Println("usage: \\alg allpairs|bounds|index")
+			fmt.Println("usage: \\alg auto|allpairs|bounds|index")
 			break
 		}
 		switch fields[1] {
+		case "auto":
+			db.SetSGBAlgorithmAuto()
 		case "allpairs":
 			db.SetSGBAlgorithm(core.AllPairs)
 		case "bounds":
@@ -259,7 +262,11 @@ func meta(s *session, cmd string) bool {
 		default:
 			fmt.Println("unknown algorithm:", fields[1])
 		}
-		fmt.Println("SGB algorithm:", db.SGBAlgorithm())
+		if db.SGBAlgorithmIsAuto() {
+			fmt.Println("SGB algorithm: auto (cost-based per query)")
+		} else {
+			fmt.Println("SGB algorithm:", db.SGBAlgorithm())
+		}
 	case "\\parallel":
 		if len(fields) == 2 {
 			n, err := strconv.Atoi(fields[1])
@@ -448,7 +455,7 @@ func metaRemote(s *session, cmd string) bool {
 		fmt.Print(text)
 	case "\\alg":
 		if len(fields) != 2 {
-			fmt.Println("usage: \\alg allpairs|bounds|index")
+			fmt.Println("usage: \\alg auto|allpairs|bounds|index")
 			break
 		}
 		set("sgb_algorithm", fields[1])

@@ -23,7 +23,8 @@
 //	-batch N         default session batch/morsel row count (0 = engine default)
 //	-max-rows N      default per-query row-materialization limit (0 = off)
 //	-max-time D      default per-query execution time limit (0 = off)
-//	-alg NAME        default SGB algorithm: allpairs | bounds | index
+//	-alg NAME        default SGB algorithm: auto (cost-based) | allpairs |
+//	                 bounds | index
 //	-drain-timeout D grace period for in-flight statements on shutdown
 //	-slow-query D    slowlog threshold: statements at least this slow are
 //	                 kept with their full trace (0 keeps all, -1 disables)
@@ -95,7 +96,7 @@ func main() {
 		batch        = flag.Int("batch", 0, "default session batch size (0 = engine default)")
 		maxRows      = flag.Int64("max-rows", 0, "default per-query rows-materialized limit (0 = unlimited)")
 		maxTime      = flag.Duration("max-time", 0, "default per-query execution time limit (0 = unlimited)")
-		alg          = flag.String("alg", "index", "default SGB algorithm: allpairs|bounds|index")
+		alg          = flag.String("alg", "auto", "default SGB algorithm: auto|allpairs|bounds|index")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight statements on shutdown")
 		slowQuery    = flag.Duration("slow-query", 100*time.Millisecond, "slowlog threshold (0 logs every statement, negative disables)")
 		slowlogSize  = flag.Int("slowlog-size", 128, "slow-query ring buffer capacity")
@@ -231,6 +232,8 @@ func run(cfg daemonConfig) error {
 	}
 
 	switch cfg.alg {
+	case "auto":
+		db.SetSGBAlgorithmAuto()
 	case "allpairs":
 		db.SetSGBAlgorithm(core.AllPairs)
 	case "bounds":
@@ -238,7 +241,7 @@ func run(cfg daemonConfig) error {
 	case "index":
 		db.SetSGBAlgorithm(core.IndexBounds)
 	default:
-		return fmt.Errorf("unknown -alg %q (want allpairs|bounds|index)", cfg.alg)
+		return fmt.Errorf("unknown -alg %q (want auto|allpairs|bounds|index)", cfg.alg)
 	}
 	db.SetParallelism(cfg.parallel)
 	db.SetBatchSize(cfg.batch)

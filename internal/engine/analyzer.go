@@ -1,0 +1,278 @@
+package engine
+
+// This file is the analyzer: small atomic rewrite rules, each semantics-
+// preserving on its own, applied to fixpoint — the dolthub/go-mysql-server
+// style of planning where the optimizer is a pipeline of named rules rather
+// than one monolithic pass. Rules operate at two levels: AST rules rewrite
+// the SELECT statement before lowering (projection pruning), and tree rules
+// rewrite the physical operator tree after lowering (limit pushdown). Two
+// more rules live inside the lowering itself because they need its
+// intermediate state: index-scan selection and predicate pushdown in
+// planSelect, and cost-based SGB algorithm / columnar-path selection in
+// planAggregate. Every applied rule is recorded on the planContext, and
+// DB.SetOptimizer(false) disables the whole pipeline except predicate
+// pushdown (which is semantic: it fixes which source an ambiguous-looking
+// column resolves against and keeps cross joins from exploding).
+
+// ruleApplied records that a named analyzer rule changed the plan, for
+// introspection and the rule-pipeline tests.
+func (pc *planContext) ruleApplied(name string) {
+	pc.applied = append(pc.applied, name)
+}
+
+// analyzerFixpoint caps rule iteration; the rules strictly shrink or
+// reorder the plan, so this bound is never reached by a correct rule set.
+const analyzerFixpoint = 16
+
+// rewriteStmt runs the AST-level rules on a SELECT to fixpoint. Statements
+// are rewritten copy-on-write: view definitions and prepared ASTs shared
+// between executions are never mutated in place.
+func (pc *planContext) rewriteStmt(stmt *SelectStmt) *SelectStmt {
+	if !pc.qc.optimize() {
+		return stmt
+	}
+	for i := 0; i < analyzerFixpoint; i++ {
+		next, changed := pc.pruneSubqueryProjections(stmt)
+		if !changed {
+			return stmt
+		}
+		stmt = next
+	}
+	return stmt
+}
+
+// pruneSubqueryProjections drops select items of FROM-subqueries that no
+// expression of the outer statement references, so the pruned columns are
+// never computed. A subquery keeps all items when the outer statement
+// selects *, when the subquery itself uses DISTINCT (dropping a column would
+// change the duplicate set) or *, and always keeps at least one item.
+func (pc *planContext) pruneSubqueryProjections(stmt *SelectStmt) (*SelectStmt, bool) {
+	for _, it := range stmt.Select {
+		if it.Star {
+			return stmt, false
+		}
+	}
+	refs := collectOuterRefs(stmt)
+	changed := false
+	newFrom := append([]FromItem(nil), stmt.From...)
+	for fi, item := range stmt.From {
+		if item.Subquery == nil || item.Subquery.Distinct {
+			continue
+		}
+		sub := item.Subquery
+		starred := false
+		for _, it := range sub.Select {
+			if it.Star {
+				starred = true
+				break
+			}
+		}
+		if starred || len(sub.Select) <= 1 {
+			continue
+		}
+		var kept []SelectItem
+		for i, it := range sub.Select {
+			name := outputName(it, i)
+			if refs.references(item.Alias, name) {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) == len(sub.Select) {
+			continue
+		}
+		if len(kept) == 0 {
+			// Nothing referenced (e.g. SELECT count(*) over the subquery):
+			// keep one item so the derived table still has a schema.
+			kept = sub.Select[:1]
+		}
+		pruned := *sub
+		pruned.Select = kept
+		newFrom[fi].Subquery = &pruned
+		changed = true
+	}
+	if !changed {
+		return stmt, false
+	}
+	out := *stmt
+	out.From = newFrom
+	pc.ruleApplied("prune_subquery_projection")
+	return &out, true
+}
+
+// refSet indexes the column references of an outer statement: qualified refs
+// by (qualifier, name), unqualified by name alone.
+type refSet struct {
+	qualified   map[[2]string]bool
+	unqualified map[string]bool
+	// sawUnresolvable marks an expression shape whose references could not
+	// be enumerated (star expansion aside, this does not occur today); the
+	// set then reports everything as referenced.
+	sawUnresolvable bool
+}
+
+// references reports whether the outer statement may reference output column
+// name of the derived table aliased alias.
+func (rs *refSet) references(alias, name string) bool {
+	if rs.sawUnresolvable {
+		return true
+	}
+	return rs.qualified[[2]string{lowerASCII(alias), lowerASCII(name)}] ||
+		rs.unqualified[lowerASCII(name)]
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// collectOuterRefs gathers every column reference of stmt outside its FROM
+// subqueries: the select list, WHERE, GROUP BY (including the similarity
+// clause's grouping expressions), HAVING, and ORDER BY. Select-list aliases
+// count as unqualified references too, because ORDER BY may name them.
+func collectOuterRefs(stmt *SelectStmt) *refSet {
+	rs := &refSet{qualified: map[[2]string]bool{}, unqualified: map[string]bool{}}
+	for _, it := range stmt.Select {
+		rs.addExpr(it.Expr)
+	}
+	rs.addExpr(stmt.Where)
+	if stmt.GroupBy != nil {
+		for _, g := range stmt.GroupBy.Exprs {
+			rs.addExpr(g)
+		}
+	}
+	rs.addExpr(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		rs.addExpr(o.Expr)
+	}
+	return rs
+}
+
+func (rs *refSet) addExpr(e Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *Literal:
+	case *ColumnRef:
+		if e.Table != "" {
+			rs.qualified[[2]string{lowerASCII(e.Table), lowerASCII(e.Name)}] = true
+		} else {
+			rs.unqualified[lowerASCII(e.Name)] = true
+		}
+	case *UnaryExpr:
+		rs.addExpr(e.X)
+	case *BinaryExpr:
+		rs.addExpr(e.L)
+		rs.addExpr(e.R)
+	case *FuncCall:
+		for _, a := range e.Args {
+			rs.addExpr(a)
+		}
+	case *InList:
+		rs.addExpr(e.X)
+		for _, it := range e.Items {
+			rs.addExpr(it)
+		}
+	case *InSubquery:
+		// The inner query is uncorrelated (planned against the catalog), so
+		// only the probe expression can reference outer sources.
+		rs.addExpr(e.X)
+	case *ScalarSubquery:
+		// Uncorrelated: self-contained.
+	case *CaseExpr:
+		rs.addExpr(e.Operand)
+		for _, w := range e.Whens {
+			rs.addExpr(w.Cond)
+			rs.addExpr(w.Result)
+		}
+		rs.addExpr(e.Else)
+	default:
+		rs.sawUnresolvable = true
+	}
+}
+
+// optimizeTree runs the tree-level rules on a lowered plan to fixpoint, then
+// stamps cost estimates on every node. With the optimizer disabled only the
+// estimates are stamped (EXPLAIN still shows them for the naive plan).
+func (pc *planContext) optimizeTree(root operator) operator {
+	if pc.qc.optimize() {
+		for i := 0; i < analyzerFixpoint; i++ {
+			next, changed := pc.applyTreeRules(root)
+			root = next
+			if !changed {
+				break
+			}
+		}
+	}
+	pc.estimateTree(root)
+	return root
+}
+
+// applyTreeRules applies the tree rules once, top-down, rebuilding child
+// links in place.
+func (pc *planContext) applyTreeRules(op operator) (operator, bool) {
+	out, changed := pc.pushLimitDown(op)
+	switch o := out.(type) {
+	case *renameOp:
+		c, ch := pc.applyTreeRules(o.child)
+		o.child, changed = c, changed || ch
+	case *filterOp:
+		c, ch := pc.applyTreeRules(o.child)
+		o.child, changed = c, changed || ch
+	case *projectOp:
+		c, ch := pc.applyTreeRules(o.child)
+		o.child, changed = c, changed || ch
+	case *sortOp:
+		c, ch := pc.applyTreeRules(o.child)
+		o.child, changed = c, changed || ch
+	case *limitOp:
+		c, ch := pc.applyTreeRules(o.child)
+		o.child, changed = c, changed || ch
+	case *distinctOp:
+		c, ch := pc.applyTreeRules(o.child)
+		o.child, changed = c, changed || ch
+	case *hashJoinOp:
+		l, chL := pc.applyTreeRules(o.left)
+		r, chR := pc.applyTreeRules(o.right)
+		o.left, o.right, changed = l, r, changed || chL || chR
+	case *crossJoinOp:
+		l, chL := pc.applyTreeRules(o.left)
+		r, chR := pc.applyTreeRules(o.right)
+		o.left, o.right, changed = l, r, changed || chL || chR
+		// Aggregation operators' children are deliberately left alone: their
+		// morsel fragments and columnar plans were extracted from the child
+		// chain at lowering time, and rewriting underneath them would
+		// invalidate those. No tree rule targets those chains anyway (limits
+		// never occur below an aggregation).
+	}
+	return out, changed
+}
+
+// pushLimitDown swaps a limit below a projection or a derived-table rename.
+// Both are stateless 1:1 row transforms pulled lazily, so the same rows are
+// produced and the same expressions evaluated — the rewrite is bit-identical
+// by construction; its value is a shallower pipeline above the limit and a
+// plan shape where the limit sits against the operator that actually bounds
+// the work.
+func (pc *planContext) pushLimitDown(op operator) (operator, bool) {
+	lim, ok := op.(*limitOp)
+	if !ok {
+		return op, false
+	}
+	switch child := lim.child.(type) {
+	case *projectOp:
+		lim.child = child.child
+		child.child = lim
+		pc.ruleApplied("limit_pushdown")
+		return child, true
+	case *renameOp:
+		lim.child = child.child
+		child.child = lim
+		pc.ruleApplied("limit_pushdown")
+		return child, true
+	}
+	return op, false
+}

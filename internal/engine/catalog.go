@@ -12,6 +12,9 @@ type Table struct {
 	Schema  Schema
 	Rows    []Row
 	Indexes []*Index
+	// Stats is the table's statistics catalog entry (see stats.go); nil until
+	// the first DML or ANALYZE touches the table.
+	Stats *TableStats
 }
 
 // Catalog maps table and view names (case-insensitive) to their
@@ -121,5 +124,8 @@ func (t *Table) Insert(rows ...Row) error {
 			ix.addRow(t, pos)
 		}
 	}
+	// Statistics are folded in only once the batch is committed, so a
+	// validation failure above leaves the counters untouched too.
+	t.statsNoteInsert(rows)
 	return nil
 }

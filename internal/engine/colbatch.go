@@ -50,7 +50,11 @@ type colPlan struct {
 //
 // Everything else falls back to the row path, which remains fully general.
 func (pc *planContext) markColumnarSGB(op *sgbAggOp, groupExprs []Expr, rw *aggRewriter) {
-	if !pc.qc.columnar() || len(groupExprs) == 0 {
+	// Analyzer rule columnar_selection: the tuple-free path is a cost-based
+	// choice (its collection cost is strictly lower when eligible — see
+	// estimateTree's sgbAggOp case), so disabling the optimizer keeps the
+	// row path, the naive reference plan.
+	if !pc.qc.columnar() || !pc.qc.optimize() || len(groupExprs) == 0 {
 		return
 	}
 	for _, c := range rw.calls {
@@ -89,6 +93,7 @@ func (pc *planContext) markColumnarSGB(op *sgbAggOp, groupExprs []Expr, rw *aggR
 		workers = pc.qc.parallelism()
 	}
 	op.colPlan = &colPlan{frag: frag, colIdx: colIdx, workers: workers}
+	pc.ruleApplied("columnar_selection")
 }
 
 // collectColumnar evaluates the fragment morsel-wise and transposes the

@@ -33,7 +33,15 @@ type DB struct {
 	// below, which concurrent read statements would otherwise race on.
 	stateMu sync.Mutex
 	sgbAlg  core.Algorithm
-	limits  Limits
+	// sgbAuto, when set, lets the cost-based optimizer choose the SGB
+	// algorithm per query; sgbAlg is then only the fallback hint. Explicit
+	// SetSGBAlgorithm clears it, making sgbAlg a manual override.
+	sgbAuto bool
+	// noOptimize disables the cost-based analyzer rules (the plans fall back
+	// to the naive lowering) — the reference behaviour property tests compare
+	// against.
+	noOptimize bool
+	limits     Limits
 	// parallelism is the session worker count for morsel-parallel fragments:
 	// 0 = auto (GOMAXPROCS), 1 = serial. batchSize is the batch/morsel row
 	// count; 0 = defaultBatchSize.
@@ -63,12 +71,13 @@ type DB struct {
 	lastTrace *obs.Trace
 }
 
-// NewDB returns an empty database. The SGB physical algorithm defaults to
-// the on-the-fly index, the paper's best-performing variant. Each DB owns
-// its metrics registry; callers wanting process-wide aggregation can swap in
-// obs.Default via SetMetrics.
+// NewDB returns an empty database. SGB algorithm selection defaults to auto
+// (the cost-based optimizer picks per query, falling back to the on-the-fly
+// index — the paper's best-performing variant — when it has nothing to go
+// on). Each DB owns its metrics registry; callers wanting process-wide
+// aggregation can swap in obs.Default via SetMetrics.
 func NewDB() *DB {
-	db := &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds}
+	db := &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds, sgbAuto: true}
 	db.metrics.Store(obs.NewRegistry())
 	db.traceEvery.Store(DefaultTraceSampling)
 	return db
@@ -170,21 +179,49 @@ func (db *DB) LastTrace() *obs.Trace {
 // synchronize externally.
 func (db *DB) Catalog() *Catalog { return db.cat }
 
-// SetSGBAlgorithm selects the physical implementation used by subsequent
+// SetSGBAlgorithm forces the physical implementation used by subsequent
 // similarity group-by executions (All-Pairs, Bounds-Checking, or the
-// on-the-fly index). It is the engine-level switch the benchmark harness
-// flips between the paper's algorithm variants.
+// on-the-fly index), overriding the optimizer's cost-based choice. It is the
+// engine-level switch the benchmark harness flips between the paper's
+// algorithm variants; SetSGBAlgorithmAuto restores cost-based selection.
 func (db *DB) SetSGBAlgorithm(a core.Algorithm) {
 	db.stateMu.Lock()
 	db.sgbAlg = a
+	db.sgbAuto = false
 	db.stateMu.Unlock()
 }
 
-// SGBAlgorithm reports the currently selected SGB implementation.
+// SetSGBAlgorithmAuto restores cost-based SGB algorithm selection (the
+// default): the optimizer picks per query from the statistics catalog.
+func (db *DB) SetSGBAlgorithmAuto() {
+	db.stateMu.Lock()
+	db.sgbAuto = true
+	db.stateMu.Unlock()
+}
+
+// SGBAlgorithm reports the currently selected SGB implementation (under auto
+// selection: the fallback hint the optimizer starts from).
 func (db *DB) SGBAlgorithm() core.Algorithm {
 	db.stateMu.Lock()
 	defer db.stateMu.Unlock()
 	return db.sgbAlg
+}
+
+// SGBAlgorithmIsAuto reports whether SGB algorithm selection is cost-based
+// (true, the default) or forced by SetSGBAlgorithm.
+func (db *DB) SGBAlgorithmIsAuto() bool {
+	db.stateMu.Lock()
+	defer db.stateMu.Unlock()
+	return db.sgbAuto
+}
+
+// SetOptimizer enables or disables the cost-based analyzer rules for
+// subsequent statements. Disabling (on=false) yields the naive plan lowering
+// — semantically identical, used as the reference in plan-equivalence tests.
+func (db *DB) SetOptimizer(on bool) {
+	db.stateMu.Lock()
+	db.noOptimize = !on
+	db.stateMu.Unlock()
 }
 
 // SetLimits installs per-query resource limits applied to every subsequent
@@ -306,10 +343,12 @@ func (db *DB) settings() Settings {
 	defer db.stateMu.Unlock()
 	return Settings{
 		SGBAlgorithm: db.sgbAlg,
+		SGBAuto:      db.sgbAuto,
 		Limits:       db.limits,
 		Parallelism:  db.parallelism,
 		BatchSize:    db.batchSize,
 		NoColumnar:   db.noColumnar,
+		NoOptimize:   db.noOptimize,
 	}
 }
 
@@ -390,7 +429,9 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set
 		}
 		qc.batch = set.BatchSize
 		qc.alg = set.SGBAlgorithm
+		qc.algAuto = set.SGBAuto
 		qc.noColumnar = set.NoColumnar
+		qc.noOpt = set.NoOptimize
 		if qc.analyze = db.sampleNow(); qc.analyze {
 			m.Counter("engine_statements_sampled_total").Inc()
 		}
@@ -487,6 +528,14 @@ func (db *DB) recordQueryMetrics(pc *planContext, tr *obs.Trace, dur time.Durati
 		m.Counter("sgb_rounds_total").Add(int64(s.Rounds))
 		tr.Annotate("points=%d distance_comps=%d rounds=%d",
 			s.Points, s.DistanceComps, s.Rounds)
+		// Surface what the planner picked: operators can tell auto selection
+		// from a manual \alg override, so \timing and the slowlog show both
+		// the algorithm and how it was chosen.
+		how := "manual"
+		if op.algAuto {
+			how = "auto"
+		}
+		tr.Annotate("sgb_alg=%s (%s)", op.algorithm, how)
 	}
 }
 
@@ -661,6 +710,10 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 		res := &Result{RowsAffected: len(changes)}
 		if res.RowsAffected > 0 {
 			t.invalidateIndexes()
+			// Only reached after every change applied: an error or
+			// cancellation above returns before the staged changes (and thus
+			// the staleness counter) touch the table.
+			t.statsNoteUpdate(res.RowsAffected)
 		}
 		return res, nil
 
@@ -673,6 +726,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 			n := len(t.Rows)
 			t.Rows = nil
 			t.invalidateIndexes()
+			t.statsNoteDelete(n)
 			return &Result{RowsAffected: n}, nil
 		}
 		pc := &planContext{db: db, qc: qc}
@@ -702,6 +756,7 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 		t.Rows = keep
 		if res.RowsAffected > 0 {
 			t.invalidateIndexes()
+			t.statsNoteDelete(res.RowsAffected)
 		}
 		return res, nil
 
@@ -724,6 +779,12 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 			return nil, fmt.Errorf("engine: no index %q on table %s", stmt.Name, stmt.Table)
 		}
 		return &Result{}, nil
+
+	case *AnalyzeStmt:
+		// ANALYZE runs as a write: it mutates the statistics catalog under
+		// the exclusive lock and flows through the commit hook, so statistics
+		// survive WAL replay deterministically.
+		return db.analyzeTables(stmt.Table)
 
 	case *CopyStmt:
 		t, err := db.cat.Get(stmt.Table)

@@ -53,6 +53,7 @@ func drain(op operator) ([]Row, error) { return materialize(op, nil) }
 // ---- scan ----
 
 type scanOp struct {
+	planEst
 	table *Table
 	sch   Schema
 	pos   int
@@ -86,6 +87,7 @@ func (s *scanOp) next() (Row, error) {
 // ---- materialized relation (derived tables, sorts) ----
 
 type valuesOp struct {
+	planEst
 	sch  Schema
 	rows []Row
 	pos  int
@@ -110,8 +112,13 @@ func singleRowOp() *valuesOp { return &valuesOp{rows: []Row{{}}} }
 // ---- filter ----
 
 type filterOp struct {
+	planEst
 	child operator
 	pred  evalFn
+	// srcExpr is the predicate's AST, kept for selectivity estimation; nil
+	// for internally synthesized predicates (HAVING), which fall back to the
+	// default selectivity.
+	srcExpr Expr
 	// parSafe marks the compiled predicate as goroutine-safe (no subquery
 	// caches), making the filter eligible for a morsel-parallel fragment.
 	parSafe bool
@@ -145,6 +152,7 @@ func (f *filterOp) next() (Row, error) {
 // ---- projection ----
 
 type projectOp struct {
+	planEst
 	child operator
 	sch   Schema
 	fns   []evalFn
@@ -176,6 +184,7 @@ func (p *projectOp) next() (Row, error) {
 // ---- hash join (equi) ----
 
 type hashJoinOp struct {
+	planEst
 	left, right         operator
 	leftKeys, rightKeys []evalFn
 	sch                 Schema
@@ -301,6 +310,7 @@ func joinKey(r Row, keys []evalFn) (string, bool, error) {
 // ---- nested-loop cross join (fallback when no equi predicate exists) ----
 
 type crossJoinOp struct {
+	planEst
 	left, right operator
 	sch         Schema
 	qc          *queryCtx
@@ -348,6 +358,7 @@ func (j *crossJoinOp) next() (Row, error) {
 // ---- sort ----
 
 type sortOp struct {
+	planEst
 	child operator
 	keys  []evalFn
 	desc  []bool
@@ -410,6 +421,7 @@ func (s *sortOp) next() (Row, error) {
 // ---- limit ----
 
 type limitOp struct {
+	planEst
 	child   operator
 	n       int // -1 = no limit (OFFSET only)
 	offset  int
@@ -528,11 +540,15 @@ func (t *aggTable) fold(o *aggTable) error {
 // scheduling, and order-identical to the serial build because morsels are
 // contiguous input ranges.
 type hashAggOp struct {
+	planEst
 	child      operator
 	groupExprs []evalFn
-	calls      []*aggCall
-	sch        Schema
-	qc         *queryCtx
+	// astGroups is the grouping expressions' AST form, kept for group-count
+	// estimation against the statistics catalog.
+	astGroups []Expr
+	calls     []*aggCall
+	sch       Schema
+	qc        *queryCtx
 
 	// frag and workers are set by the planner when the input pipeline is
 	// parallel-safe and large enough to be worth fanning out.
@@ -666,13 +682,17 @@ func (a *hashAggOp) next() (Row, error) {
 // groups have no single key value). ELIMINATE'd tuples contribute to no
 // group. Output order follows the smallest member position per group.
 type sgbAggOp struct {
+	planEst
 	child      operator
 	groupExprs []evalFn
 	calls      []*aggCall
 	sch        Schema
 	spec       SimilaritySpec
 	algorithm  core.Algorithm
-	qc         *queryCtx
+	// algAuto records that algorithm came from cost-based selection rather
+	// than an explicit \alg override, for the trace annotation.
+	algAuto bool
+	qc      *queryCtx
 
 	// frag and workers are set by the planner for SGB-Any plans whose input
 	// pipeline is parallel-safe and large enough: input collection runs
@@ -893,6 +913,7 @@ func (a *sgbAggOp) next() (Row, error) {
 // distinctOp filters out duplicate rows (SELECT DISTINCT), preserving the
 // first occurrence order.
 type distinctOp struct {
+	planEst
 	child operator
 	seen  map[string]bool
 }

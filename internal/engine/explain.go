@@ -90,6 +90,13 @@ func explainPlan(root operator) []string {
 		label, children, _ := describeOp(op)
 		indent := strings.Repeat("  ", depth)
 		line := indent + label
+		// Planner estimates, when the node carries them (estimateTree runs on
+		// every planned statement). EXPLAIN ANALYZE then shows the estimates
+		// and the actuals side by side, so the cost model itself can be
+		// regressed against real runs.
+		if c, ok := op.(costed); ok && c.estimated() {
+			line += fmt.Sprintf(" (est_rows=%.0f est_cost=%.1f)", c.EstRows(), c.Cost())
+		}
 		if inst != nil {
 			line += fmt.Sprintf(" (actual rows=%d loops=%d time=%.3f ms)",
 				inst.rowsOut, inst.loops, float64(inst.elapsed.Nanoseconds())/1e6)

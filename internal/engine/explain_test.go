@@ -4,6 +4,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"sgb/internal/core"
 )
 
 // explainDB builds deterministic fixtures for the EXPLAIN golden tests:
@@ -49,123 +51,141 @@ func TestExplainGolden(t *testing.T) {
 	cases := []struct {
 		name string
 		sql  string
+		alg  string // manual \alg override; "" keeps the auto default
 		want []string
 	}{
 		{
 			name: "values",
 			sql:  "EXPLAIN SELECT 1",
 			want: []string{
-				"Project (col1)",
-				"  Values (1 rows)",
+				"Project (col1) (est_rows=1 est_cost=1.5)",
+				"  Values (1 rows) (est_rows=1 est_cost=0.5)",
 			},
 		},
 		{
 			name: "index scan",
 			sql:  "EXPLAIN SELECT name FROM emp WHERE dept = 10",
 			want: []string{
-				"Project (name)",
-				"  IndexScan on emp using emp_dept (dept = const)",
+				"Project (name) (est_rows=0 est_cost=0.6)",
+				"  IndexScan on emp using emp_dept (dept = const) (est_rows=0 est_cost=0.2)",
 			},
 		},
 		{
 			name: "seq scan with filter",
 			sql:  "EXPLAIN SELECT name FROM emp WHERE salary > 150",
 			want: []string{
-				"Project (name)",
-				"  Filter",
-				"    SeqScan on emp (4 rows)",
+				"Project (name) (est_rows=1 est_cost=7.3)",
+				"  Filter (est_rows=1 est_cost=6.0)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0)",
 			},
 		},
 		{
 			name: "hash join",
 			sql:  "EXPLAIN SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept = d.dno",
 			want: []string{
-				"Project (name, dname)",
-				"  HashJoin (1 key(s))",
-				"    SeqScan on emp (4 rows)",
-				"    SeqScan on dept (2 rows)",
+				"Project (name, dname) (est_rows=4 est_cost=23.0)",
+				"  HashJoin (1 key(s)) (est_rows=4 est_cost=15.0)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0)",
+				"    SeqScan on dept (2 rows) (est_rows=2 est_cost=1.0)",
 			},
 		},
 		{
 			name: "cross join",
 			sql:  "EXPLAIN SELECT e.name FROM emp e, dept d",
 			want: []string{
-				"Project (name)",
-				"  NestedLoop (cross)",
-				"    SeqScan on emp (4 rows)",
-				"    SeqScan on dept (2 rows)",
+				"Project (name) (est_rows=8 est_cost=15.0)",
+				"  NestedLoop (cross) (est_rows=8 est_cost=7.0)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0)",
+				"    SeqScan on dept (2 rows) (est_rows=2 est_cost=1.0)",
 			},
 		},
 		{
 			name: "sort distinct limit",
 			sql:  "EXPLAIN SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 2",
 			want: []string{
-				"Limit 2",
-				"  Distinct",
-				"    Project (dept)",
-				"      Sort (1 key(s))",
-				"        SeqScan on emp (4 rows)",
+				"Limit 2 (est_rows=2 est_cost=9.6)",
+				"  Distinct (est_rows=4 est_cost=19.2)",
+				"    Project (dept) (est_rows=4 est_cost=11.2)",
+				"      Sort (1 key(s)) (est_rows=4 est_cost=7.2)",
+				"        SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0)",
 			},
 		},
 		{
 			name: "hash aggregate",
 			sql:  "EXPLAIN SELECT dept, count(*) FROM emp GROUP BY dept",
 			want: []string{
-				"Project (dept, count)",
-				"  HashAggregate (1 group key(s), 1 aggregate(s))",
-				"    SeqScan on emp (4 rows)",
+				"Project (dept, count) (est_rows=1 est_cost=13.8)",
+				"  HashAggregate (1 group key(s), 1 aggregate(s)) (est_rows=1 est_cost=11.2)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0)",
 			},
 		},
 		{
 			name: "subquery scan",
 			sql:  "EXPLAIN SELECT s.c FROM (SELECT count(*) AS c FROM emp) s",
 			want: []string{
-				"Project (c)",
-				"  SubqueryScan as s",
-				"    Project (c)",
-				"      HashAggregate (0 group key(s), 1 aggregate(s))",
-				"        SeqScan on emp (4 rows)",
+				"Project (c) (est_rows=1 est_cost=12.8)",
+				"  SubqueryScan as s (est_rows=1 est_cost=11.8)",
+				"    Project (c) (est_rows=1 est_cost=11.8)",
+				"      HashAggregate (0 group key(s), 1 aggregate(s)) (est_rows=1 est_cost=10.8)",
+				"        SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0)",
 			},
 		},
 		{
+			// Five points is far below the index algorithms' breakeven, so the
+			// cost-based selector picks All-Pairs for every SGB shape here.
 			name: "sgb all join-any l2",
 			sql:  "EXPLAIN SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL L2 WITHIN 3 ON-OVERLAP JOIN-ANY",
 			want: []string{
-				"Project (count)",
-				"  SimilarityGroupBy DISTANCE-TO-ALL JOIN-ANY L2 WITHIN 3 [on-the-fly Index] (1 aggregate(s))",
-				"    SeqScan on pts (5 rows)",
+				"Project (count) (est_rows=1 est_cost=19.0)",
+				"  SimilarityGroupBy DISTANCE-TO-ALL JOIN-ANY L2 WITHIN 3 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=17.8)",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5)",
 			},
 		},
 		{
 			name: "sgb all eliminate linf",
 			sql:  "EXPLAIN SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE",
 			want: []string{
-				"Project (count)",
-				"  SimilarityGroupBy DISTANCE-TO-ALL ELIMINATE LINF WITHIN 3 [on-the-fly Index] (1 aggregate(s))",
-				"    SeqScan on pts (5 rows)",
+				"Project (count) (est_rows=1 est_cost=19.0)",
+				"  SimilarityGroupBy DISTANCE-TO-ALL ELIMINATE LINF WITHIN 3 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=17.8)",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5)",
 			},
 		},
 		{
 			name: "sgb all form-new-group linf",
 			sql:  "EXPLAIN SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP FORM-NEW-GROUP",
 			want: []string{
-				"Project (count)",
-				"  SimilarityGroupBy DISTANCE-TO-ALL FORM-NEW-GROUP LINF WITHIN 3 [on-the-fly Index] (1 aggregate(s))",
-				"    SeqScan on pts (5 rows)",
+				"Project (count) (est_rows=1 est_cost=19.0)",
+				"  SimilarityGroupBy DISTANCE-TO-ALL FORM-NEW-GROUP LINF WITHIN 3 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=17.8)",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5)",
 			},
 		},
 		{
 			name: "sgb any l2",
 			sql:  "EXPLAIN SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5",
 			want: []string{
-				"Project (count)",
-				"  SimilarityGroupBy DISTANCE-TO-ANY L2 WITHIN 1.5 [on-the-fly Index] (1 aggregate(s))",
-				"    SeqScan on pts (5 rows)",
+				"Project (count) (est_rows=1 est_cost=25.2)",
+				"  SimilarityGroupBy DISTANCE-TO-ANY L2 WITHIN 1.5 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=24.0)",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5)",
+			},
+		},
+		{
+			// A manual \alg override bypasses the cost-based choice entirely.
+			name: "sgb manual index override",
+			sql:  "EXPLAIN SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5",
+			alg:  "index",
+			want: []string{
+				"Project (count) (est_rows=1 est_cost=319.5)",
+				"  SimilarityGroupBy DISTANCE-TO-ANY L2 WITHIN 1.5 [on-the-fly Index] (1 aggregate(s)) (est_rows=1 est_cost=318.3)",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5)",
 			},
 		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
+			if c.alg == "index" {
+				db.SetSGBAlgorithm(core.IndexBounds)
+				defer db.SetSGBAlgorithmAuto()
+			}
 			got := planLines(t, db, c.sql)
 			if len(got) != len(c.want) {
 				t.Fatalf("got %d lines, want %d:\n%s", len(got), len(c.want), strings.Join(got, "\n"))
@@ -210,9 +230,9 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			name: "filter scan",
 			sql:  "EXPLAIN ANALYZE SELECT name FROM emp WHERE salary > 150",
 			want: []string{
-				"Project (name) (actual rows=3 loops=1 time=X ms)",
-				"  Filter (actual rows=3 loops=1 time=X ms)",
-				"    SeqScan on emp (4 rows) (actual rows=4 loops=1 time=X ms)",
+				"Project (name) (est_rows=1 est_cost=7.3) (actual rows=3 loops=1 time=X ms)",
+				"  Filter (est_rows=1 est_cost=6.0) (actual rows=3 loops=1 time=X ms)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0) (actual rows=4 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},
@@ -221,11 +241,11 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			name: "hash join",
 			sql:  "EXPLAIN ANALYZE SELECT e.name, d.dname FROM emp e, dept d WHERE e.dept = d.dno",
 			want: []string{
-				"Project (name, dname) (actual rows=4 loops=1 time=X ms)",
-				"  HashJoin (1 key(s)) (actual rows=4 loops=1 time=X ms)",
+				"Project (name, dname) (est_rows=4 est_cost=23.0) (actual rows=4 loops=1 time=X ms)",
+				"  HashJoin (1 key(s)) (est_rows=4 est_cost=15.0) (actual rows=4 loops=1 time=X ms)",
 				"    Hash Build: rows=2 buckets=2",
-				"    SeqScan on emp (4 rows) (actual rows=4 loops=1 time=X ms)",
-				"    SeqScan on dept (2 rows) (actual rows=2 loops=1 time=X ms)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0) (actual rows=4 loops=1 time=X ms)",
+				"    SeqScan on dept (2 rows) (est_rows=2 est_cost=1.0) (actual rows=2 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},
@@ -234,13 +254,13 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			name: "sort distinct limit",
 			sql:  "EXPLAIN ANALYZE SELECT DISTINCT dept FROM emp ORDER BY dept LIMIT 2",
 			want: []string{
-				"Limit 2 (actual rows=2 loops=1 time=X ms)",
-				"  Distinct (actual rows=2 loops=1 time=X ms)",
+				"Limit 2 (est_rows=2 est_cost=9.6) (actual rows=2 loops=1 time=X ms)",
+				"  Distinct (est_rows=4 est_cost=19.2) (actual rows=2 loops=1 time=X ms)",
 				"    Distinct Set: keys=2",
-				"    Project (dept) (actual rows=3 loops=1 time=X ms)",
-				"      Sort (1 key(s)) (actual rows=3 loops=1 time=X ms)",
+				"    Project (dept) (est_rows=4 est_cost=11.2) (actual rows=3 loops=1 time=X ms)",
+				"      Sort (1 key(s)) (est_rows=4 est_cost=7.2) (actual rows=3 loops=1 time=X ms)",
 				"        Sort Buffer: rows=4",
-				"        SeqScan on emp (4 rows) (actual rows=4 loops=1 time=X ms)",
+				"        SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0) (actual rows=4 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},
@@ -249,24 +269,26 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			name: "hash aggregate",
 			sql:  "EXPLAIN ANALYZE SELECT dept, count(*) FROM emp GROUP BY dept",
 			want: []string{
-				"Project (dept, count) (actual rows=2 loops=1 time=X ms)",
-				"  HashAggregate (1 group key(s), 1 aggregate(s)) (actual rows=2 loops=1 time=X ms)",
+				"Project (dept, count) (est_rows=1 est_cost=13.8) (actual rows=2 loops=1 time=X ms)",
+				"  HashAggregate (1 group key(s), 1 aggregate(s)) (est_rows=1 est_cost=11.2) (actual rows=2 loops=1 time=X ms)",
 				"    Hash Table: groups=2 input rows=4",
-				"    SeqScan on emp (4 rows) (actual rows=4 loops=1 time=X ms)",
+				"    SeqScan on emp (4 rows) (est_rows=4 est_cost=2.0) (actual rows=4 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},
 		},
 		{
 			// The Figure 2 points under LINF/3 with JOIN-ANY form groups
-			// {1,2,5} and {3,4} (first-candidate arbitration).
+			// {1,2,5} and {3,4} (first-candidate arbitration). Auto selection
+			// picks All-Pairs at n=5, so the counters show distance
+			// computations instead of window queries.
 			name: "sgb all join-any linf",
 			sql:  "EXPLAIN ANALYZE SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP JOIN-ANY",
 			want: []string{
-				"Project (count) (actual rows=2 loops=1 time=X ms)",
-				"  SimilarityGroupBy DISTANCE-TO-ALL JOIN-ANY LINF WITHIN 3 [on-the-fly Index] (1 aggregate(s)) (actual rows=2 loops=1 time=X ms)",
-				"    SGB Stats: points=5 distance_comps=0 rect_tests=6 hull_tests=0 window_queries=5 index_updates=2 rounds=1 merged=0 dropped=0",
-				"    SeqScan on pts (5 rows) (actual rows=5 loops=1 time=X ms)",
+				"Project (count) (est_rows=1 est_cost=19.0) (actual rows=2 loops=1 time=X ms)",
+				"  SimilarityGroupBy DISTANCE-TO-ALL JOIN-ANY LINF WITHIN 3 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=17.8) (actual rows=2 loops=1 time=X ms)",
+				"    SGB Stats: points=5 distance_comps=8 rect_tests=0 hull_tests=0 window_queries=0 index_updates=0 rounds=1 merged=0 dropped=0",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5) (actual rows=5 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},
@@ -275,10 +297,10 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			name: "sgb all eliminate linf",
 			sql:  "EXPLAIN ANALYZE SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ALL LINF WITHIN 3 ON-OVERLAP ELIMINATE",
 			want: []string{
-				"Project (count) (actual rows=2 loops=1 time=X ms)",
-				"  SimilarityGroupBy DISTANCE-TO-ALL ELIMINATE LINF WITHIN 3 [on-the-fly Index] (1 aggregate(s)) (actual rows=2 loops=1 time=X ms)",
-				"    SGB Stats: points=5 distance_comps=0 rect_tests=8 hull_tests=0 window_queries=5 index_updates=2 rounds=1 merged=0 dropped=1",
-				"    SeqScan on pts (5 rows) (actual rows=5 loops=1 time=X ms)",
+				"Project (count) (est_rows=1 est_cost=19.0) (actual rows=2 loops=1 time=X ms)",
+				"  SimilarityGroupBy DISTANCE-TO-ALL ELIMINATE LINF WITHIN 3 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=17.8) (actual rows=2 loops=1 time=X ms)",
+				"    SGB Stats: points=5 distance_comps=10 rect_tests=0 hull_tests=0 window_queries=0 index_updates=0 rounds=1 merged=0 dropped=1",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5) (actual rows=5 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},
@@ -287,10 +309,10 @@ func TestExplainAnalyzeGolden(t *testing.T) {
 			name: "sgb any l2",
 			sql:  "EXPLAIN ANALYZE SELECT count(*) FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5",
 			want: []string{
-				"Project (count) (actual rows=3 loops=1 time=X ms)",
-				"  SimilarityGroupBy DISTANCE-TO-ANY L2 WITHIN 1.5 [on-the-fly Index] (1 aggregate(s)) (actual rows=3 loops=1 time=X ms)",
-				"    SGB Stats: points=5 distance_comps=2 rect_tests=0 hull_tests=0 window_queries=5 index_updates=5 rounds=1 merged=2 dropped=0",
-				"    SeqScan on pts (5 rows) (actual rows=5 loops=1 time=X ms)",
+				"Project (count) (est_rows=1 est_cost=25.2) (actual rows=3 loops=1 time=X ms)",
+				"  SimilarityGroupBy DISTANCE-TO-ANY L2 WITHIN 1.5 [All-Pairs] (1 aggregate(s)) (est_rows=1 est_cost=24.0) (actual rows=3 loops=1 time=X ms)",
+				"    SGB Stats: points=5 distance_comps=10 rect_tests=0 hull_tests=0 window_queries=0 index_updates=0 rounds=1 merged=2 dropped=0",
+				"    SeqScan on pts (5 rows) (est_rows=5 est_cost=2.5) (actual rows=5 loops=1 time=X ms)",
 				"Planning Time: X ms",
 				"Execution Time: X ms",
 			},

@@ -138,6 +138,7 @@ func (*DropIndexStmt) stmt() {}
 // indexScanOp serves rows matching an equality predicate from a hash index
 // instead of scanning the heap.
 type indexScanOp struct {
+	planEst
 	table *Table
 	ix    *Index
 	sch   Schema

@@ -58,8 +58,13 @@ type queryCtx struct {
 	workers int   // resolved statement parallelism; <=1 = serial
 	batch   int   // batch/morsel row count; <=0 = defaultBatchSize
 	// alg is the statement's SGB physical algorithm, resolved from the
-	// session settings when the statement starts.
-	alg core.Algorithm
+	// session settings when the statement starts. algAuto marks it as a
+	// fallback hint only: the optimizer is free to pick per query.
+	alg     core.Algorithm
+	algAuto bool
+	// noOpt disables the cost-based analyzer rules for this statement,
+	// yielding the naive plan lowering (session setting, see DB.SetOptimizer).
+	noOpt bool
 	// analyze marks a trace-sampled statement: the executor wraps the plan in
 	// instrumented operators and stashes the EXPLAIN ANALYZE tree on the
 	// statement trace (see DB.SetTraceSampling).
@@ -153,4 +158,16 @@ func (q *queryCtx) algorithm() core.Algorithm {
 		return core.IndexBounds
 	}
 	return q.alg
+}
+
+// algorithmAuto reports whether the statement's SGB algorithm is subject to
+// cost-based selection. Plan-only contexts are: they have no session override.
+func (q *queryCtx) algorithmAuto() bool {
+	return q == nil || q.algAuto
+}
+
+// optimize reports whether the cost-based analyzer rules run for this
+// statement. Plan-only contexts optimize (the rules are semantics-preserving).
+func (q *queryCtx) optimize() bool {
+	return q == nil || !q.noOpt
 }

@@ -131,6 +131,15 @@ func (p *parser) parseStatement() (Statement, error) {
 			return nil, err
 		}
 		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
+	case p.peekKeyword("ANALYZE"):
+		// ANALYZE stays a contextual keyword: it is only recognized at
+		// statement start, so columns named "analyze" keep working.
+		p.next()
+		stmt := &AnalyzeStmt{}
+		if p.peek().kind == tokIdent {
+			stmt.Table = p.next().text
+		}
+		return stmt, nil
 	case p.peekKeyword("COPY"):
 		return p.parseCopy()
 	case p.peekKeyword("UPDATE"):

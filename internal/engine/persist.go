@@ -28,6 +28,11 @@ type snapshot struct {
 	Version int
 	Tables  []*Table
 	SGBAlg  uint8
+	// SGBManual marks SGBAlg as an explicit override rather than the auto
+	// fallback hint. The field is inverted from DB.sgbAuto so snapshots
+	// written before cost-based selection existed (field absent, decodes
+	// false) restore into auto mode, today's default.
+	SGBManual bool
 }
 
 const snapshotVersion = 1
@@ -47,7 +52,11 @@ func (db *DB) SaveLocked(w io.Writer, locked func()) error {
 	if locked != nil {
 		locked()
 	}
-	snap := snapshot{Version: snapshotVersion, SGBAlg: uint8(db.SGBAlgorithm())}
+	snap := snapshot{
+		Version:   snapshotVersion,
+		SGBAlg:    uint8(db.SGBAlgorithm()),
+		SGBManual: !db.SGBAlgorithmIsAuto(),
+	}
 	for _, name := range db.cat.Names() {
 		t, err := db.cat.Get(name)
 		if err != nil {
@@ -68,18 +77,25 @@ func Load(r io.Reader) (*DB, error) {
 		return nil, fmt.Errorf("engine: unsupported snapshot version %d", snap.Version)
 	}
 	db := NewDB()
-	db.SetSGBAlgorithm(algFromByte(snap.SGBAlg))
+	if snap.SGBManual {
+		db.SetSGBAlgorithm(algFromByte(snap.SGBAlg))
+	} else {
+		// Keep auto selection on but restore the fallback hint. Load runs
+		// before the DB is shared, so the direct write cannot race.
+		db.sgbAlg = algFromByte(snap.SGBAlg)
+	}
 	for _, t := range snap.Tables {
 		created, err := db.cat.Create(t.Name, t.Schema)
 		if err != nil {
 			return nil, err
 		}
 		// Create re-qualifies the schema by table name; keep the stored
-		// qualification, rows and index metadata as-is (index buckets are
-		// rebuilt lazily on first use).
+		// qualification, rows, statistics and index metadata as-is (index
+		// buckets are rebuilt lazily on first use).
 		created.Schema = t.Schema
 		created.Rows = t.Rows
 		created.Indexes = t.Indexes
+		created.Stats = t.Stats
 	}
 	return db, nil
 }

@@ -24,6 +24,9 @@ type planContext struct {
 	qc *queryCtx
 	// viewDepth guards against self-referential view definitions.
 	viewDepth int
+	// applied lists the analyzer rules that changed this statement's plan,
+	// in application order (see analyzer.go).
+	applied []string
 }
 
 // run plans and fully executes a SELECT, returning its rows and schema.
@@ -41,6 +44,7 @@ func (pc *planContext) run(stmt *SelectStmt) ([]Row, Schema, error) {
 
 // renameOp re-qualifies a child's schema under a derived-table alias.
 type renameOp struct {
+	planEst
 	child operator
 	sch   Schema
 	qc    *queryCtx
@@ -51,10 +55,22 @@ func (r *renameOp) open() error        { return r.child.open() }
 func (r *renameOp) next() (Row, error) { return r.child.next() }
 func (r *renameOp) close() error       { return r.child.close() }
 
-// planSelect lowers a SELECT statement to an operator tree:
+// planSelect plans a SELECT statement: the analyzer's AST rules rewrite the
+// statement (copy-on-write), lowerSelect produces the operator tree —
 // sources → pushed-down filters → left-deep (hash) joins → residual filter →
-// aggregation (standard or SGB) → HAVING → projection → ORDER BY → LIMIT.
+// aggregation (standard or SGB) → HAVING → projection → ORDER BY → LIMIT —
+// and the analyzer's tree rules plus the cost estimator finish the plan.
 func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
+	stmt = pc.rewriteStmt(stmt)
+	out, err := pc.lowerSelect(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return pc.optimizeTree(out), nil
+}
+
+// lowerSelect is the statement-to-operator-tree lowering.
+func (pc *planContext) lowerSelect(stmt *SelectStmt) (operator, error) {
 	if len(stmt.Select) == 0 {
 		return nil, fmt.Errorf("engine: empty SELECT list")
 	}
@@ -98,13 +114,28 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 
 	conjuncts := splitConjuncts(stmt.Where)
 
-	// Convert sequential scans with indexed equality predicates into index
-	// scans before pushing the remaining predicates down.
-	for i, src := range sources {
-		sources[i], conjuncts = tryIndexScan(src, conjuncts)
+	// Analyzer rule index_scan_selection: convert sequential scans with
+	// indexed equality predicates into index scans before pushing the
+	// remaining predicates down. Skipped without the optimizer (the seq scan
+	// plus the pushed-down predicate is the equivalent naive plan).
+	if pc.qc.optimize() {
+		applied := false
+		for i, src := range sources {
+			before := len(conjuncts)
+			sources[i], conjuncts = tryIndexScan(src, conjuncts)
+			applied = applied || len(conjuncts) != before
+		}
+		if applied {
+			pc.ruleApplied("index_scan_selection")
+		}
 	}
 
-	// Push single-source predicates below the joins.
+	// Analyzer rule predicate_pushdown: push single-source predicates below
+	// the joins. This rule runs even with the optimizer disabled — it is
+	// semantic, not just a speedup: a conjunct is compiled against the single
+	// source it resolves on, where the same column name compiled against the
+	// joined schema would be rejected as ambiguous.
+	pushed := false
 	for i, src := range sources {
 		var rest []Expr
 		for _, c := range conjuncts {
@@ -113,12 +144,16 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				sources[i] = &filterOp{child: sources[i], pred: pred, parSafe: exprParallelSafe(c), qc: pc.qc}
+				sources[i] = &filterOp{child: sources[i], pred: pred, srcExpr: c, parSafe: exprParallelSafe(c), qc: pc.qc}
+				pushed = true
 			} else {
 				rest = append(rest, c)
 			}
 		}
 		conjuncts = rest
+	}
+	if pushed && len(stmt.From) > 1 {
+		pc.ruleApplied("predicate_pushdown")
 	}
 
 	// Left-deep join tree, preferring hash joins on equi-predicates.
@@ -173,7 +208,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 				if err != nil {
 					return nil, err
 				}
-				cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c), qc: pc.qc}
+				cur = &filterOp{child: cur, pred: pred, srcExpr: c, parSafe: exprParallelSafe(c), qc: pc.qc}
 			} else {
 				still = append(still, c)
 			}
@@ -185,7 +220,7 @@ func (pc *planContext) planSelect(stmt *SelectStmt) (operator, error) {
 		if err != nil {
 			return nil, err
 		}
-		cur = &filterOp{child: cur, pred: pred, parSafe: exprParallelSafe(c), qc: pc.qc}
+		cur = &filterOp{child: cur, pred: pred, srcExpr: c, parSafe: exprParallelSafe(c), qc: pc.qc}
 	}
 
 	// Aggregation path?
@@ -409,13 +444,18 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 
 	var aggOp operator
 	if spec != nil {
+		// Analyzer rule sgb_algorithm_selection: under \alg auto the
+		// physical SGB variant is a cost-based choice from the statistics
+		// catalog; an explicit \alg override wins unconditionally.
+		alg, auto := pc.resolveSGBAlgorithm(child, spec)
 		op := &sgbAggOp{
 			child:      child,
 			groupExprs: groupFns,
 			calls:      rw.calls,
 			sch:        internal,
 			spec:       *spec,
-			algorithm:  pc.qc.algorithm(),
+			algorithm:  alg,
+			algAuto:    auto,
 			qc:         pc.qc,
 		}
 		pc.markParallelSGB(op, groupExprs, rw)
@@ -423,7 +463,7 @@ func (pc *planContext) planAggregate(stmt *SelectStmt, child operator, orderBy [
 		pc.sgbOps = append(pc.sgbOps, op)
 		aggOp = op
 	} else {
-		op := &hashAggOp{child: child, groupExprs: groupFns, calls: rw.calls, sch: internal, qc: pc.qc}
+		op := &hashAggOp{child: child, groupExprs: groupFns, astGroups: groupExprs, calls: rw.calls, sch: internal, qc: pc.qc}
 		pc.markParallelHashAgg(op, groupExprs, rw)
 		aggOp = op
 	}

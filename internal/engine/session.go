@@ -16,8 +16,13 @@ import (
 // settings against the same shared DB.
 type Settings struct {
 	// SGBAlgorithm selects the physical similarity group-by implementation
-	// (All-Pairs, Bounds-Checking, or the on-the-fly index).
+	// (All-Pairs, Bounds-Checking, or the on-the-fly index). It is a manual
+	// override only when SGBAuto is false; under SGBAuto it is the fallback
+	// hint the optimizer uses when cost-based selection has nothing to go on.
 	SGBAlgorithm core.Algorithm
+	// SGBAuto (the default for new DBs) lets the cost-based optimizer choose
+	// the SGB algorithm per query from the statistics catalog.
+	SGBAuto bool
 	// Limits bounds the resources a single statement may consume.
 	Limits Limits
 	// Parallelism is the morsel worker count: 0 = auto (GOMAXPROCS),
@@ -31,6 +36,10 @@ type Settings struct {
 	// disabling is mainly useful for benchmarks comparing against the
 	// row-at-a-time path.
 	NoColumnar bool
+	// NoOptimize disables the cost-based analyzer rules, producing the naive
+	// plan lowering. Semantics are unchanged; plan-equivalence tests use it
+	// as the reference.
+	NoOptimize bool
 }
 
 // Session is a per-client view of a shared DB: it carries its own Settings
@@ -64,11 +73,28 @@ func (s *Session) Settings() Settings {
 	return s.set
 }
 
-// SetSGBAlgorithm selects the SGB physical implementation for subsequent
-// statements on this session only.
+// SetSGBAlgorithm forces the SGB physical implementation for subsequent
+// statements on this session only, overriding cost-based selection.
 func (s *Session) SetSGBAlgorithm(a core.Algorithm) {
 	s.mu.Lock()
 	s.set.SGBAlgorithm = a
+	s.set.SGBAuto = false
+	s.mu.Unlock()
+}
+
+// SetSGBAlgorithmAuto restores cost-based SGB algorithm selection for
+// subsequent statements on this session only.
+func (s *Session) SetSGBAlgorithmAuto() {
+	s.mu.Lock()
+	s.set.SGBAuto = true
+	s.mu.Unlock()
+}
+
+// SetOptimizer enables or disables the cost-based analyzer rules for
+// subsequent statements on this session only.
+func (s *Session) SetOptimizer(on bool) {
+	s.mu.Lock()
+	s.set.NoOptimize = !on
 	s.mu.Unlock()
 }
 

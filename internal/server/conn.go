@@ -395,9 +395,13 @@ func (c *conn) applySetting(m *wire.Set) bool {
 	}
 	switch m.Name {
 	case "sgb_algorithm":
+		if m.Value == "auto" {
+			c.sess.SetSGBAlgorithmAuto()
+			break
+		}
 		alg, ok := parseAlgorithm(m.Value)
 		if !ok {
-			return fail("unknown SGB algorithm %q (want allpairs|bounds|index)", m.Value)
+			return fail("unknown SGB algorithm %q (want auto|allpairs|bounds|index)", m.Value)
 		}
 		c.sess.SetSGBAlgorithm(alg)
 	case "parallelism":
@@ -444,8 +448,12 @@ func (c *conn) writeMsg(m wire.Message) error {
 // recorded alongside the statement in the slowlog.
 func (c *conn) settingsString() string {
 	st := c.sess.Settings()
+	name := algName(st.SGBAlgorithm)
+	if st.SGBAuto {
+		name = "auto"
+	}
 	return fmt.Sprintf("algorithm=%s parallelism=%d batch_size=%d",
-		algName(st.SGBAlgorithm), st.Parallelism, st.BatchSize)
+		name, st.Parallelism, st.BatchSize)
 }
 
 // algName is the inverse of parseAlgorithm.
