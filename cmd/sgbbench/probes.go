@@ -111,8 +111,9 @@ type plannerProbeResult struct {
 	EstRowsError     float64            `json:"est_rows_error"`
 }
 
-// benchDoc is the whole machine-readable snapshot. planner_probes is a
-// schema-v3-additive section: older documents simply lack it.
+// benchDoc is the whole machine-readable snapshot. planner_probes and
+// stream_probes are schema-v3-additive sections: older documents simply lack
+// them.
 type benchDoc struct {
 	SchemaVersion int                  `json:"schema_version"`
 	Dataset       string               `json:"dataset"`
@@ -124,6 +125,7 @@ type benchDoc struct {
 	Runs          []probeResult        `json:"runs"`
 	KernelProbes  []kernelProbeResult  `json:"kernel_probes"`
 	PlannerProbes []plannerProbeResult `json:"planner_probes,omitempty"`
+	StreamProbes  []streamProbeResult  `json:"stream_probes,omitempty"`
 	Metrics       obs.Snapshot         `json:"metrics"`
 }
 
@@ -390,6 +392,11 @@ func writeBenchJSON(path string, n int, seed int64, timeout time.Duration, worke
 		return nil, err
 	}
 	doc.PlannerProbes = planner
+	streams, err := runStreamProbes(n, seed, timeout)
+	if err != nil {
+		return nil, err
+	}
+	doc.StreamProbes = streams
 	doc.Metrics = db.Metrics().Snapshot()
 
 	f, err := os.Create(path)

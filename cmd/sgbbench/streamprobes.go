@@ -1,0 +1,238 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sgb/internal/checkin"
+	"sgb/internal/engine"
+	"sgb/internal/stream"
+)
+
+// The stream probes measure the incremental-view-maintenance claim: once a
+// materialized SGB view exists, keeping it fresh after a single-row insert
+// must be far cheaper than the alternative — rebuilding the view's grouped
+// state from scratch, which is what a system without incremental maintenance
+// redoes on every refresh. Each probe loads the check-in workload, times that
+// full recompute (a DROP + CREATE of the view, whose bootstrap feeds all n
+// rows through the view's grouper), attaches a fan of subscribers, and then
+// times a burst of single-row inserts end to end: the incremental sample is
+// the committed write including inline view maintenance, and the fan-out
+// sample extends to the moment every subscriber has drained that commit's
+// deltas. speedup_vs_recompute is the machine-portable signal (both sides run
+// the same maintenance code path in the same process on the same host); the
+// -stream-gate flag turns it into a CI floor.
+
+// streamProbeResult is one materialized-view maintenance probe in the JSON
+// document.
+type streamProbeResult struct {
+	Name             string  `json:"name"`
+	View             string  `json:"view"`
+	N                int     `json:"n"`
+	Eps              float64 `json:"eps"`
+	Subscribers      int     `json:"subscribers"`
+	Inserts          int     `json:"inserts"`
+	IncrementalP50MS float64 `json:"incremental_insert_p50_ms"`
+	IncrementalP95MS float64 `json:"incremental_insert_p95_ms"`
+	RecomputeP50MS   float64 `json:"recompute_p50_ms"`
+	Speedup          float64 `json:"speedup_vs_recompute"`
+	FanoutP50MS      float64 `json:"fanout_p50_ms"`
+	FanoutP95MS      float64 `json:"fanout_p95_ms"`
+	DeltasTotal      uint64  `json:"deltas_total"`
+	Rebuilds         uint64  `json:"rebuilds"`
+	Groups           int     `json:"groups"`
+	Members          int     `json:"members"`
+}
+
+// streamProbeInserts is the single-row insert burst per probe: enough samples
+// that the p95 is a distribution tail rather than a copy of the max.
+const streamProbeInserts = 200
+
+// streamProbeSubs is the subscriber fan attached to each probe's view.
+const streamProbeSubs = 8
+
+func fmtCoord(v float64) string {
+	return strconv.FormatFloat(v, 'f', 6, 64)
+}
+
+// runStreamProbes runs one maintenance probe per SGB mode over the check-in
+// workload. Each probe gets its own engine and manager so maintenance cost is
+// measured against exactly one view and the main document's metrics snapshot
+// is not polluted.
+func runStreamProbes(n int, seed int64, timeout time.Duration) ([]streamProbeResult, error) {
+	const eps = 0.25
+	type probe struct {
+		name string
+		mode string
+	}
+	probes := []probe{
+		{"stream_any_l2", fmt.Sprintf("DISTANCE-TO-ANY L2 WITHIN %g", eps)},
+		{"stream_all_join_linf", fmt.Sprintf("DISTANCE-TO-ALL LINF WITHIN %g ON-OVERLAP JOIN-ANY", eps)},
+	}
+
+	exec := func(db *engine.DB, q string) (time.Duration, error) {
+		ctx, cancel := context.Background(), func() {}
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		start := time.Now()
+		_, err := db.ExecContext(ctx, q)
+		wall := time.Since(start)
+		cancel()
+		return wall, err
+	}
+	toMS := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+	var out []streamProbeResult
+	for pi, p := range probes {
+		db := engine.NewDB()
+		mgr := stream.NewManager()
+		mgr.AttachEngine(db)
+		cs := checkin.Generate(checkin.Config{N: n, Seed: seed})
+		if err := checkin.Load(db, "checkins_live", cs); err != nil {
+			return nil, err
+		}
+
+		// The recompute baseline: what a refresh without incremental
+		// maintenance pays — rebuilding the view's grouped state from all n
+		// rows. Timed as the CREATE of the view itself (its bootstrap feeds
+		// every row through the view's grouper), with the preceding DROP
+		// untimed. The last iteration leaves the view in place.
+		query := fmt.Sprintf("SELECT lat, lon FROM checkins_live GROUP BY lat, lon %s", p.mode)
+		view := "stream_v"
+		createStmt := fmt.Sprintf("CREATE MATERIALIZED VIEW %s AS %s", view, query)
+		runtime.GC()
+		recompute := make([]time.Duration, 0, probeReps)
+		for i := 0; i < probeReps; i++ {
+			if i > 0 {
+				if _, err := db.Exec("DROP MATERIALIZED VIEW " + view); err != nil {
+					return nil, fmt.Errorf("stream probe %s (drop view): %w", p.name, err)
+				}
+			}
+			wall, err := exec(db, createStmt)
+			if err != nil {
+				return nil, fmt.Errorf("stream probe %s (recompute): %w", p.name, err)
+			}
+			recompute = append(recompute, wall)
+		}
+		sort.Slice(recompute, func(i, j int) bool { return recompute[i] < recompute[j] })
+
+		// Attach the subscriber fan at the current head so only live deltas
+		// flow.
+		var head uint64
+		for _, vs := range mgr.Views() {
+			if vs.Name == view {
+				head = vs.LastSeq
+			}
+		}
+		subs := make([]*stream.Attach, streamProbeSubs)
+		for i := range subs {
+			at, err := mgr.Subscribe(view, head, 4096)
+			if err != nil {
+				return nil, fmt.Errorf("stream probe %s (subscribe): %w", p.name, err)
+			}
+			subs[i] = at
+		}
+
+		// The timed burst: fresh check-ins from the same mixture, one insert
+		// per statement. Delta publication is synchronous with the commit, so
+		// after Exec returns each subscriber channel already holds every delta
+		// for that statement: block for the first, drain the rest.
+		extra := checkin.Generate(checkin.Config{N: streamProbeInserts, Seed: seed + 1000 + int64(pi)})
+		runtime.GC()
+		inserts := make([]time.Duration, 0, streamProbeInserts)
+		fanouts := make([]time.Duration, 0, streamProbeInserts)
+		for _, c := range extra {
+			stmt := fmt.Sprintf("INSERT INTO checkins_live VALUES (%d, %s, %s)",
+				c.UserID, fmtCoord(c.Lat), fmtCoord(c.Lon))
+			start := time.Now()
+			if _, err := exec(db, stmt); err != nil {
+				return nil, fmt.Errorf("stream probe %s (insert): %w", p.name, err)
+			}
+			inserts = append(inserts, time.Since(start))
+			for si, at := range subs {
+				select {
+				case _, ok := <-at.Sub.C:
+					if !ok {
+						return nil, fmt.Errorf("stream probe %s: subscriber %d dropped", p.name, si)
+					}
+				case <-time.After(10 * time.Second):
+					return nil, fmt.Errorf("stream probe %s: subscriber %d saw no delta within 10s", p.name, si)
+				}
+				for drained := false; !drained; {
+					select {
+					case _, ok := <-at.Sub.C:
+						if !ok {
+							return nil, fmt.Errorf("stream probe %s: subscriber %d dropped", p.name, si)
+						}
+					default:
+						drained = true
+					}
+				}
+			}
+			fanouts = append(fanouts, time.Since(start))
+		}
+		sort.Slice(inserts, func(i, j int) bool { return inserts[i] < inserts[j] })
+		sort.Slice(fanouts, func(i, j int) bool { return fanouts[i] < fanouts[j] })
+
+		res := streamProbeResult{
+			Name:             p.name,
+			View:             query,
+			N:                n,
+			Eps:              eps,
+			Subscribers:      streamProbeSubs,
+			Inserts:          streamProbeInserts,
+			IncrementalP50MS: toMS(percentile(inserts, 50)),
+			IncrementalP95MS: toMS(percentile(inserts, 95)),
+			RecomputeP50MS:   toMS(percentile(recompute, 50)),
+			FanoutP50MS:      toMS(percentile(fanouts, 50)),
+			FanoutP95MS:      toMS(percentile(fanouts, 95)),
+		}
+		if res.IncrementalP50MS > 0 {
+			res.Speedup = res.RecomputeP50MS / res.IncrementalP50MS
+		}
+		for _, vs := range mgr.Views() {
+			if vs.Name == view {
+				res.DeltasTotal = vs.DeltasTotal
+				res.Rebuilds = vs.Rebuilds
+				res.Groups = vs.Groups
+				res.Members = vs.Members
+			}
+		}
+		if res.Members != n+streamProbeInserts {
+			return nil, fmt.Errorf("stream probe %s: view covers %d rows, want %d",
+				p.name, res.Members, n+streamProbeInserts)
+		}
+		for _, at := range subs {
+			at.Sub.Close()
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// gateStream fails when incremental maintenance lost its reason to exist: any
+// stream probe whose per-insert p50, including inline view maintenance, is
+// not at least minSpeedup times cheaper than the full recompute.
+func gateStream(doc *benchDoc, minSpeedup float64) error {
+	var failures []string
+	for _, sp := range doc.StreamProbes {
+		if sp.Speedup < minSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"%s: incremental p50 %.4fms vs recompute p50 %.3fms — speedup %.1fx below %.1fx",
+				sp.Name, sp.IncrementalP50MS, sp.RecomputeP50MS, sp.Speedup, minSpeedup))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("stream maintenance gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "gate: %d stream probes at least %.0fx faster than recompute\n",
+		len(doc.StreamProbes), minSpeedup)
+	return nil
+}

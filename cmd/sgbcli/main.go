@@ -25,6 +25,9 @@
 //	                     newest first, with each query's trace spans
 //	\processlist         remote only: show the server's in-flight queries
 //	                     (trace ID, client, state, elapsed)
+//	\subscribe <view> [<token>]
+//	                     remote only: stream a materialized view's deltas
+//	                     until Ctrl-C; with a token, resume after that seq
 //	\limits rows <n> | time <dur> | off
 //	                     set per-query resource limits (no args: show)
 //	\q                   quit
@@ -48,8 +51,10 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strconv"
@@ -60,6 +65,7 @@ import (
 	"sgb/internal/client"
 	"sgb/internal/core"
 	"sgb/internal/engine"
+	"sgb/internal/stream"
 	"sgb/internal/tpch"
 )
 
@@ -365,6 +371,8 @@ func meta(s *session, cmd string) bool {
 		}
 	case "\\processlist":
 		fmt.Println("\\processlist needs a server; use -connect")
+	case "\\subscribe":
+		fmt.Println("\\subscribe needs a server; use -connect")
 	default:
 		fmt.Println("unknown command:", fields[0])
 	}
@@ -483,12 +491,77 @@ func metaRemote(s *session, cmd string) bool {
 		default:
 			fmt.Println("usage: \\limits rows <n> | time <duration> | off")
 		}
+	case "\\subscribe":
+		if len(fields) < 2 || len(fields) > 3 {
+			fmt.Println("usage: \\subscribe <view> [<resume-token>]")
+			break
+		}
+		var token uint64
+		if len(fields) == 3 {
+			t, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				fmt.Println("bad resume token:", fields[2])
+				break
+			}
+			token = t
+		}
+		s.subscribe(fields[1], token)
 	case "\\tables", "\\load", "\\save", "\\open":
 		fmt.Printf("%s needs the embedded database; not available with -connect\n", fields[0])
 	default:
 		fmt.Println("unknown command:", fields[0])
 	}
 	return true
+}
+
+// subscribe streams a materialized view's deltas to stdout until Ctrl-C,
+// then detaches cleanly and returns the connection to the idle prompt. Each
+// line carries the delta's resume token (seq), so a later
+// \subscribe <view> <seq> resumes after the last delta seen.
+func (s *session) subscribe(view string, token uint64) {
+	ss, err := s.conn.SubscribeOnce(view, token)
+	if err != nil {
+		fmt.Println("subscribe failed:", err)
+		return
+	}
+	if ss.Snapshot {
+		fmt.Printf("-- snapshot at seq %d (token predates retention; full state image follows); Ctrl-C to stop\n", ss.Seq)
+	} else {
+		fmt.Printf("-- live after seq %d; Ctrl-C to stop\n", ss.Seq)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			// The server answers Cancel with Done, unblocking Next below.
+			s.conn.Cancel()
+		case <-done:
+		}
+	}()
+	n := 0
+	for {
+		d, err := ss.Next()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				fmt.Printf("-- subscription closed (%d deltas)\n", n)
+			} else {
+				fmt.Println("stream error:", err)
+			}
+			return
+		}
+		n++
+		switch d.Kind {
+		case stream.GroupsMerged:
+			fmt.Printf("seq=%d  %-14s group=%d absorbed=%v\n", d.Seq, d.Kind, d.Group, d.Merged)
+		case stream.GroupDissolved:
+			fmt.Printf("seq=%d  %-14s group=%d\n", d.Seq, d.Kind, d.Group)
+		default:
+			fmt.Printf("seq=%d  %-14s group=%d members=%v\n", d.Seq, d.Kind, d.Group, d.Members)
+		}
+	}
 }
 
 func printResult(res *engine.Result) {

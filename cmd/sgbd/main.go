@@ -31,11 +31,19 @@
 //	-slowlog-size N  slow-query ring buffer capacity
 //	-trace-sample N  collect per-operator EXPLAIN ANALYZE actuals on every
 //	                 Nth statement (1 = every statement, 0 = never)
+//	-auto-analyze    re-ANALYZE tables in the background when a write pushes
+//	                 their statistics past the staleness threshold (default on)
 //	-version         print version and build info, then exit
 //
 // The metrics listener also serves the observability surface: /debug/queries
 // (live process list), /debug/slowlog (recent slow queries with their
-// traces), and the standard /debug/pprof/ profiles.
+// traces), /debug/views (materialized view state, delta rates, staleness,
+// subscriber counts), and the standard /debug/pprof/ profiles.
+//
+// Materialized views (CREATE MATERIALIZED VIEW ... GROUP BY ... WITHIN eps)
+// are maintained incrementally from the commit path in every boot mode and
+// served to SUBSCRIBE clients as typed delta streams with WAL-anchored
+// resume tokens; see internal/stream.
 //
 // With -data-dir, every committed DML/DDL statement is appended to the WAL
 // before it is acknowledged on the wire (under -fsync always, a kill -9 or
@@ -72,6 +80,7 @@ import (
 	"sgb/internal/engine"
 	"sgb/internal/obs"
 	"sgb/internal/server"
+	"sgb/internal/stream"
 	"sgb/internal/wal"
 )
 
@@ -101,6 +110,7 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", 100*time.Millisecond, "slowlog threshold (0 logs every statement, negative disables)")
 		slowlogSize  = flag.Int("slowlog-size", 128, "slow-query ring buffer capacity")
 		traceSample  = flag.Int("trace-sample", engine.DefaultTraceSampling, "collect EXPLAIN ANALYZE actuals every Nth statement (1 = always, 0 = never)")
+		autoAnalyze  = flag.Bool("auto-analyze", true, "re-ANALYZE tables in the background when their statistics go stale")
 		showVersion  = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
@@ -116,6 +126,7 @@ func main() {
 		parallel: *parallel, batch: *batch, maxRows: *maxRows, maxTime: *maxTime,
 		alg: *alg, drainTimeout: *drainTimeout,
 		slowQuery: *slowQuery, slowlogSize: *slowlogSize, traceSample: *traceSample,
+		autoAnalyze: *autoAnalyze,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbd:", err)
@@ -140,6 +151,7 @@ type daemonConfig struct {
 	slowQuery          time.Duration
 	slowlogSize        int
 	traceSample        int
+	autoAnalyze        bool
 }
 
 func run(cfg daemonConfig) error {
@@ -190,7 +202,12 @@ func run(cfg daemonConfig) error {
 		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 
-	// Boot the database: durable store, legacy snapshot, or ephemeral.
+	// Boot the database: durable store, legacy snapshot, or ephemeral. The
+	// stream manager rides the commit path in every mode — as the store's
+	// commit observer when durable (WAL sequences number the delta stream,
+	// and recovery replay regenerates delta history), or hooked straight into
+	// the engine otherwise.
+	streams := stream.NewManager()
 	var (
 		db    *engine.DB
 		store *server.Store
@@ -207,6 +224,7 @@ func run(cfg daemonConfig) error {
 			SyncInterval:       cfg.fsyncInterval,
 			CheckpointInterval: cfg.checkpointInterval,
 			Metrics:            reg,
+			Observer:           streams,
 		})
 		if err != nil {
 			return err
@@ -226,9 +244,11 @@ func run(cfg daemonConfig) error {
 			fmt.Printf("loaded snapshot %s (%d tables)\n", cfg.snapshot, len(db.Catalog().Names()))
 		}
 		db.SetMetrics(reg)
+		streams.AttachEngine(db)
 	default:
 		db = engine.NewDB()
 		db.SetMetrics(reg)
+		streams.AttachEngine(db)
 	}
 
 	switch cfg.alg {
@@ -247,6 +267,7 @@ func run(cfg daemonConfig) error {
 	db.SetBatchSize(cfg.batch)
 	db.SetLimits(engine.Limits{MaxRowsMaterialized: cfg.maxRows, MaxExecutionTime: cfg.maxTime})
 	db.SetTraceSampling(cfg.traceSample)
+	db.SetAutoAnalyze(cfg.autoAnalyze)
 
 	srv := server.New(db, server.Config{
 		Addr:               cfg.addr,
@@ -254,6 +275,7 @@ func run(cfg daemonConfig) error {
 		IdleTimeout:        cfg.idleTimeout,
 		SlowQueryThreshold: cfg.slowQuery,
 		SlowLogSize:        cfg.slowlogSize,
+		Streams:            streams,
 	})
 	if err := srv.Start(); err != nil {
 		return err

@@ -134,13 +134,13 @@ func retryable(err error) bool {
 // dialAndHandshake performs one connection attempt at the current protocol
 // version. When an older server refuses it with CodeVersionMismatch, the
 // client redials once offering the oldest version it still speaks — so a new
-// client keeps working against a v1 server (losing only the v2 extras, such
-// as trace-ID propagation).
+// client keeps working against a v1 server (losing only the newer extras,
+// such as trace-ID propagation and subscriptions).
 func dialAndHandshake(ctx context.Context, addr string) (*Conn, error) {
-	c, err := dialAt(ctx, addr, wire.Version)
+	c, err := dialAt(ctx, addr, wire.MaxVersion)
 	var se *ServerError
 	if err != nil && errors.As(err, &se) && se.Code == wire.CodeVersionMismatch &&
-		wire.MinVersion < wire.Version {
+		wire.MinVersion < wire.MaxVersion {
 		return dialAt(ctx, addr, wire.MinVersion)
 	}
 	return c, err
@@ -211,6 +211,11 @@ func (c *Conn) Close() error {
 	_ = wire.WriteMessage(c.nc, &wire.Close{})
 	return c.nc.Close()
 }
+
+// closeSocket force-closes the transport without taking the conversation
+// lock — the way a subscription watcher unblocks a reader waiting in a socket
+// read. The conn is unusable afterwards.
+func (c *Conn) closeSocket() error { return c.nc.Close() }
 
 // writeMsg sends one frame under the write lock.
 func (c *Conn) writeMsg(m wire.Message) error {

@@ -8,7 +8,9 @@ package client_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"sgb/internal/client"
+	"sgb/internal/stream"
 )
 
 func externalConn(t *testing.T) *client.Conn {
@@ -182,6 +185,84 @@ func TestExternalServerCancel(t *testing.T) {
 	}
 	if _, err := c.Query(bg, fmt.Sprintf("SELECT count(*) FROM %s", tbl)); err != nil {
 		t.Fatalf("connection unusable after cancel: %v", err)
+	}
+}
+
+// TestExternalServerSubscribe drives a materialized view and a live
+// subscription against the running sgbd: DDL for the view over the wire, a
+// snapshot attach, deltas for committed writes, and a clean detach that
+// returns the connection to query duty.
+func TestExternalServerSubscribe(t *testing.T) {
+	addr := os.Getenv("SGBD_ADDR")
+	if addr == "" {
+		t.Skip("SGBD_ADDR not set; skipping external-server test")
+	}
+	c := externalConn(t)
+	ctx := context.Background()
+	tbl := uniqueTable("ext_stream")
+	view := tbl + "_v"
+	defer c.Query(ctx, "DROP TABLE "+tbl)
+	defer c.Query(ctx, "DROP MATERIALIZED VIEW "+view)
+
+	if _, err := c.Query(ctx, fmt.Sprintf("CREATE TABLE %s (x FLOAT, y FLOAT)", tbl)); err != nil {
+		t.Fatalf("create table: %v", err)
+	}
+	if _, err := c.Query(ctx, fmt.Sprintf(
+		"CREATE MATERIALIZED VIEW %s AS SELECT x, y FROM %s GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5", view, tbl)); err != nil {
+		t.Fatalf("create view: %v", err)
+	}
+
+	// Managed subscription on its own connection; the plain connection writes.
+	subCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sub, err := client.Subscribe(subCtx, addr, view)
+	if err != nil {
+		t.Fatalf("subscribe: %v", err)
+	}
+	const groups = 5
+	for i := 0; i < groups; i++ {
+		if _, err := c.Query(ctx, fmt.Sprintf("INSERT INTO %s VALUES (%d.0, 0.5)", tbl, i*10)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	state := make(map[int64][]int64)
+	deadline := time.After(30 * time.Second)
+	for len(state) < groups {
+		select {
+		case ev, ok := <-sub.Events:
+			if !ok {
+				t.Fatalf("events closed early: %v", sub.Err())
+			}
+			if ev.Rebase {
+				state = make(map[int64][]int64)
+				continue
+			}
+			stream.Apply(state, ev.Delta)
+		case <-deadline:
+			t.Fatalf("saw %d groups, want %d", len(state), groups)
+		}
+	}
+	total := 0
+	for _, ms := range state {
+		total += len(ms)
+	}
+	if total != groups {
+		t.Fatalf("replayed state covers %d rows, want %d", total, groups)
+	}
+	cancel()
+	for range sub.Events {
+	}
+	if err := sub.Err(); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, io.EOF) {
+		t.Fatalf("subscription error after cancel: %v", err)
+	}
+
+	// The writing connection is still a plain query connection.
+	res, err := c.Query(ctx, fmt.Sprintf("SELECT count(*) FROM %s", tbl))
+	if err != nil {
+		t.Fatalf("query after subscribe test: %v", err)
+	}
+	if res.Rows[0][0].I != groups {
+		t.Fatalf("count = %d, want %d", res.Rows[0][0].I, groups)
 	}
 }
 

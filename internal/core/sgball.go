@@ -232,6 +232,75 @@ func (g *AllGrouper) Finish() (*Result, error) {
 	return res, nil
 }
 
+// Snapshot materializes the grouping as it stands without consuming the
+// grouper: unlike Finish, the grouper keeps accepting points afterwards. The
+// result is bit-identical to what Finish would return at this prefix (same
+// groups, same dropped set, same round count) — the invariant incremental
+// view maintenance is checked against.
+//
+// Sealed and active groups are copied out directly. A non-empty deferred set
+// (FORM-NEW-GROUP) is resolved on a scratch grouper fed the deferred points
+// in order: Finish's first recursion round processes exactly those points
+// against an empty group universe, so the scratch run reproduces the
+// recursion without touching this grouper's state. (Only FORM-NEW-GROUP
+// defers points, and that mode never consults opt.Rand, so the scratch run
+// has no side effects.)
+func (g *AllGrouper) Snapshot() (*Result, error) {
+	if g.finished {
+		return nil, fmt.Errorf("core: Snapshot after Finish")
+	}
+	res := &Result{Stats: g.stats}
+	res.Stats.Rounds = 1
+	collect := func(groups []*allGroup) {
+		for _, grp := range groups {
+			if len(grp.members) == 0 {
+				continue
+			}
+			ids := append([]int(nil), grp.members...)
+			sort.Ints(ids)
+			res.Groups = append(res.Groups, Group{IDs: ids})
+		}
+	}
+	collect(g.final)
+	collect(g.active)
+	dropped := append([]int(nil), g.dropped...)
+	if len(g.deferred) > 0 {
+		sub, err := NewAllGrouper(g.opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range g.deferred {
+			if _, err := sub.Add(g.points[id]); err != nil {
+				return nil, err
+			}
+		}
+		subRes, err := sub.Finish()
+		if err != nil {
+			return nil, err
+		}
+		// Scratch ids are dense over the deferred slice; map them back to
+		// this grouper's point ids and restore the sort invariants.
+		for _, grp := range subRes.Groups {
+			ids := make([]int, len(grp.IDs))
+			for i, sid := range grp.IDs {
+				ids[i] = g.deferred[sid]
+			}
+			sort.Ints(ids)
+			res.Groups = append(res.Groups, Group{IDs: ids})
+		}
+		for _, sid := range subRes.Dropped {
+			dropped = append(dropped, g.deferred[sid])
+		}
+		res.Stats.Rounds = subRes.Stats.Rounds + 1
+	}
+	sort.Slice(res.Groups, func(i, j int) bool {
+		return res.Groups[i].IDs[0] < res.Groups[j].IDs[0]
+	})
+	sort.Ints(dropped)
+	res.Dropped = dropped
+	return res, nil
+}
+
 // processPoint runs Procedure 1 for one point: find the candidate and
 // overlap groups, arbitrate membership, then apply the overlap semantics.
 func (g *AllGrouper) processPoint(id int) {

@@ -38,6 +38,11 @@ type AnyGrouper struct {
 	stats    Stats
 	finished bool
 
+	// trackLinks arms AddLinked's merge recording: union appends to links
+	// whenever a union actually joins two distinct components.
+	trackLinks bool
+	links      []int
+
 	// ctx, when set via WithContext, lets a canceled or deadline-expired
 	// query abort the grouping mid-stream; ctxTick strides the polls.
 	ctx     context.Context
@@ -205,7 +210,48 @@ func (g *AnyGrouper) union(a, b int) {
 	if g.uf.Find(a) != g.uf.Find(b) {
 		g.stats.GroupsMerged++
 		g.uf.Union(a, b)
+		if g.trackLinks {
+			g.links = append(g.links, b)
+		}
 	}
+}
+
+// AddLinked is the incremental-maintenance entry point: it feeds the next
+// point like Add and additionally reports which pre-existing groups the point
+// connected to. links holds exactly one member point id per distinct prior
+// connected component the new point was united with (the component's
+// representative at union time), in probe order — an empty slice means the
+// point founded a new singleton group. The returned slice is reused by the
+// next AddLinked call; callers that retain it must copy.
+func (g *AnyGrouper) AddLinked(p geom.Point) (id int, links []int, err error) {
+	g.trackLinks = true
+	g.links = g.links[:0]
+	id, err = g.Add(p)
+	g.trackLinks = false
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, g.links, nil
+}
+
+// Snapshot materializes the current connected components without consuming
+// the grouper: unlike Finish, the grouper keeps accepting points afterwards.
+// The result is bit-identical to what Finish would return at this prefix —
+// groups sorted by smallest member, members ascending — which is the
+// invariant incremental view maintenance is checked against.
+func (g *AnyGrouper) Snapshot() ([]Group, error) {
+	if g.finished {
+		return nil, fmt.Errorf("core: Snapshot after Finish")
+	}
+	var groups []Group
+	for _, ids := range g.uf.Groups() {
+		sort.Ints(ids)
+		groups = append(groups, Group{IDs: ids})
+	}
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].IDs[0] < groups[j].IDs[0]
+	})
+	return groups, nil
 }
 
 // Finish materializes the connected components as groups. The grouper cannot

@@ -206,3 +206,23 @@ type DropViewStmt struct {
 }
 
 func (*DropViewStmt) stmt() {}
+
+// CreateMaterializedViewStmt is a parsed CREATE MATERIALIZED VIEW name AS
+// SELECT ... — a similarity-group view whose group state is maintained
+// incrementally from committed writes (see internal/stream). QuerySQL is the
+// definition's original SELECT text, captured so the view can be persisted in
+// snapshots and re-parsed on load.
+type CreateMaterializedViewStmt struct {
+	Name     string
+	Query    *SelectStmt
+	QuerySQL string
+}
+
+func (*CreateMaterializedViewStmt) stmt() {}
+
+// DropMaterializedViewStmt is a parsed DROP MATERIALIZED VIEW.
+type DropMaterializedViewStmt struct {
+	Name string
+}
+
+func (*DropMaterializedViewStmt) stmt() {}

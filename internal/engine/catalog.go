@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -17,16 +18,31 @@ type Table struct {
 	Stats *TableStats
 }
 
+// MatView is a registered materialized similarity-group view: its parsed
+// definition, the original SELECT text (persisted in snapshots and re-parsed
+// on load), and the streamable shape extracted at creation time.
+type MatView struct {
+	Name  string
+	Query *SelectStmt
+	SQL   string
+	Shape *MatViewShape
+}
+
 // Catalog maps table and view names (case-insensitive) to their
-// definitions. Tables and views share one namespace.
+// definitions. Tables, views, and materialized views share one namespace.
 type Catalog struct {
-	tables map[string]*Table
-	views  map[string]*SelectStmt
+	tables   map[string]*Table
+	views    map[string]*SelectStmt
+	matviews map[string]*MatView
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{tables: make(map[string]*Table), views: make(map[string]*SelectStmt)}
+	return &Catalog{
+		tables:   make(map[string]*Table),
+		views:    make(map[string]*SelectStmt),
+		matviews: make(map[string]*MatView),
+	}
 }
 
 // CreateView registers a named view over a SELECT definition.
@@ -38,8 +54,54 @@ func (c *Catalog) CreateView(name string, query *SelectStmt) error {
 	if _, ok := c.views[key]; ok {
 		return fmt.Errorf("engine: view %q already exists", name)
 	}
+	if _, ok := c.matviews[key]; ok {
+		return fmt.Errorf("engine: a materialized view named %q already exists", name)
+	}
 	c.views[key] = query
 	return nil
+}
+
+// CreateMatView registers a materialized view definition.
+func (c *Catalog) CreateMatView(mv *MatView) error {
+	key := strings.ToLower(mv.Name)
+	if _, ok := c.tables[key]; ok {
+		return fmt.Errorf("engine: a table named %q already exists", mv.Name)
+	}
+	if _, ok := c.views[key]; ok {
+		return fmt.Errorf("engine: a view named %q already exists", mv.Name)
+	}
+	if _, ok := c.matviews[key]; ok {
+		return fmt.Errorf("engine: materialized view %q already exists", mv.Name)
+	}
+	c.matviews[key] = mv
+	return nil
+}
+
+// MatView looks a materialized view up by name.
+func (c *Catalog) MatView(name string) (*MatView, bool) {
+	mv, ok := c.matviews[strings.ToLower(name)]
+	return mv, ok
+}
+
+// DropMatView removes a materialized view; it reports whether one existed.
+func (c *Catalog) DropMatView(name string) bool {
+	key := strings.ToLower(name)
+	if _, ok := c.matviews[key]; !ok {
+		return false
+	}
+	delete(c.matviews, key)
+	return true
+}
+
+// MatViews lists every materialized view, sorted by name, so snapshots and
+// debug endpoints render deterministically.
+func (c *Catalog) MatViews() []*MatView {
+	out := make([]*MatView, 0, len(c.matviews))
+	for _, mv := range c.matviews {
+		out = append(out, mv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // View looks a view definition up by name.
@@ -67,6 +129,9 @@ func (c *Catalog) Create(name string, schema Schema) (*Table, error) {
 	}
 	if _, ok := c.views[key]; ok {
 		return nil, fmt.Errorf("engine: a view named %q already exists", name)
+	}
+	if _, ok := c.matviews[key]; ok {
+		return nil, fmt.Errorf("engine: a materialized view named %q already exists", name)
 	}
 	t := &Table{Name: name, Schema: schema.Qualify(name)}
 	c.tables[key] = t

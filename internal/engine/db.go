@@ -63,6 +63,13 @@ type DB struct {
 	// the engine's durability seam. See SetCommitHook.
 	commitHook atomic.Pointer[CommitHook]
 
+	// aaMu guards the auto-ANALYZE trigger state: aaCh is the pending-table
+	// queue (nil = disabled), aaPending dedups queued tables by lowercased
+	// name. See autoanalyze.go.
+	aaMu      sync.Mutex
+	aaCh      chan string
+	aaPending map[string]struct{}
+
 	// lastSGBStats holds the cost counters of the most recent SGB operator
 	// execution, when the last statement contained one.
 	lastSGBStats *core.Stats
@@ -469,6 +476,12 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set
 					}
 				}
 			}
+			// With the write committed (and durable), check whether it pushed
+			// the table's statistics past the staleness threshold; if so, queue
+			// a background re-ANALYZE. Non-blocking — see autoanalyze.go.
+			if err == nil {
+				db.maybeAutoAnalyze(stmt)
+			}
 			db.mu.Unlock()
 		}
 	}
@@ -549,6 +562,10 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 		return &Result{}, nil
 
 	case *DropTableStmt:
+		if deps := db.MatViewsOn(stmt.Name); len(deps) != 0 {
+			return nil, fmt.Errorf("engine: cannot drop table %q: materialized view %s depends on it",
+				stmt.Name, deps[0])
+		}
 		db.cat.Drop(stmt.Name)
 		db.Metrics().Gauge("engine_catalog_tables").Set(float64(len(db.cat.Names())))
 		return &Result{}, nil
@@ -568,6 +585,30 @@ func (db *DB) execStmt(stmt Statement, tr *obs.Trace, qc *queryCtx) (*Result, er
 	case *DropViewStmt:
 		if !db.cat.DropView(stmt.Name) {
 			return nil, fmt.Errorf("engine: unknown view %q", stmt.Name)
+		}
+		return &Result{}, nil
+
+	case *CreateMaterializedViewStmt:
+		// Validate both ways a definition can be broken: as a query (it must
+		// plan) and as a maintainable stream (it must match the incremental
+		// shape — see matViewShape).
+		pc := &planContext{db: db}
+		if _, err := pc.planSelect(stmt.Query); err != nil {
+			return nil, fmt.Errorf("engine: invalid materialized view definition: %w", err)
+		}
+		shape, err := db.matViewShape(stmt.Query)
+		if err != nil {
+			return nil, err
+		}
+		mv := &MatView{Name: stmt.Name, Query: stmt.Query, SQL: stmt.QuerySQL, Shape: shape}
+		if err := db.cat.CreateMatView(mv); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *DropMaterializedViewStmt:
+		if !db.cat.DropMatView(stmt.Name) {
+			return nil, fmt.Errorf("engine: unknown materialized view %q", stmt.Name)
 		}
 		return &Result{}, nil
 

@@ -72,8 +72,8 @@ type queryCtx struct {
 	// noColumnar disables the columnar SGB fast path for this statement
 	// (session setting, see DB.SetColumnar). The zero value keeps it on.
 	noColumnar bool
-	rows    atomic.Int64
-	calls   atomic.Uint64
+	rows       atomic.Int64
+	calls      atomic.Uint64
 }
 
 func newQueryCtx(ctx context.Context, lim Limits) *queryCtx {

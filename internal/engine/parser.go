@@ -36,6 +36,7 @@ var reserved = map[string]bool{
 type parser struct {
 	toks []token
 	pos  int
+	src  string // original statement text, for raw-SQL capture (matviews)
 }
 
 // Parse parses a single SQL statement (an optional trailing ';' is allowed).
@@ -44,7 +45,7 @@ func Parse(src string) (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	p := &parser{toks: toks, src: src}
 	stmt, err := p.parseStatement()
 	if err != nil {
 		return nil, err
@@ -228,6 +229,28 @@ func (p *parser) parseDelete() (Statement, error) {
 
 func (p *parser) parseCreateTable() (Statement, error) {
 	p.next() // CREATE
+	if p.acceptKeyword("MATERIALIZED") {
+		if err := p.expectKeyword("VIEW"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return nil, err
+		}
+		// Capture the definition's raw SELECT text by token offsets so the
+		// view can be persisted and re-parsed verbatim.
+		start := p.peek().pos
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		end := p.peek().pos
+		sql := strings.TrimSpace(p.src[start:end])
+		return &CreateMaterializedViewStmt{Name: name, Query: sel, QuerySQL: sql}, nil
+	}
 	if p.acceptKeyword("VIEW") {
 		name, err := p.expectIdent()
 		if err != nil {
@@ -352,6 +375,16 @@ func (p *parser) parseInsert() (Statement, error) {
 
 func (p *parser) parseDropTable() (Statement, error) {
 	p.next() // DROP
+	if p.acceptKeyword("MATERIALIZED") {
+		if err := p.expectKeyword("VIEW"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropMaterializedViewStmt{Name: name}, nil
+	}
 	if p.acceptKeyword("VIEW") {
 		name, err := p.expectIdent()
 		if err != nil {

@@ -23,7 +23,8 @@ func algFromByte(b uint8) core.Algorithm {
 // plus session settings. The engine is an in-memory system like the paper's
 // prototype; snapshot persistence lets long-lived datasets (generated
 // benchmarks, loaded CSVs) be saved and reopened without regeneration.
-// Views are session-scoped query definitions and are not persisted.
+// Views are session-scoped query definitions and are not persisted;
+// materialized views are durable catalog objects and are.
 type snapshot struct {
 	Version int
 	Tables  []*Table
@@ -33,6 +34,16 @@ type snapshot struct {
 	// written before cost-based selection existed (field absent, decodes
 	// false) restore into auto mode, today's default.
 	SGBManual bool
+	// MatViews stores each materialized view as its name plus the original
+	// SELECT text, re-parsed on load. The field is additive: snapshots from
+	// before materialized views existed decode it empty.
+	MatViews []SavedMatView
+}
+
+// SavedMatView is the persisted form of one materialized view definition.
+type SavedMatView struct {
+	Name string
+	SQL  string
 }
 
 const snapshotVersion = 1
@@ -63,6 +74,9 @@ func (db *DB) SaveLocked(w io.Writer, locked func()) error {
 			return err
 		}
 		snap.Tables = append(snap.Tables, t)
+	}
+	for _, mv := range db.cat.MatViews() {
+		snap.MatViews = append(snap.MatViews, SavedMatView{Name: mv.Name, SQL: mv.SQL})
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -96,6 +110,26 @@ func Load(r io.Reader) (*DB, error) {
 		created.Rows = t.Rows
 		created.Indexes = t.Indexes
 		created.Stats = t.Stats
+	}
+	// Materialized views restore after tables so their base tables resolve;
+	// re-parsing the stored SELECT re-derives the validated shape.
+	for _, saved := range snap.MatViews {
+		stmt, err := Parse(saved.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot matview %s: %w", saved.Name, err)
+		}
+		sel, ok := stmt.(*SelectStmt)
+		if !ok {
+			return nil, fmt.Errorf("engine: snapshot matview %s: definition is not a SELECT", saved.Name)
+		}
+		shape, err := db.matViewShape(sel)
+		if err != nil {
+			return nil, fmt.Errorf("engine: snapshot matview %s: %w", saved.Name, err)
+		}
+		mv := &MatView{Name: saved.Name, Query: sel, SQL: saved.SQL, Shape: shape}
+		if err := db.cat.CreateMatView(mv); err != nil {
+			return nil, err
+		}
 	}
 	return db, nil
 }

@@ -15,6 +15,7 @@ import (
 	"sgb/internal/core"
 	"sgb/internal/engine"
 	"sgb/internal/obs"
+	"sgb/internal/stream"
 	"sgb/internal/wire"
 )
 
@@ -140,10 +141,10 @@ func (c *conn) handshake() error {
 			Message: fmt.Sprintf("expected Hello, got %T", msg)})
 		return errors.New("server: bad handshake")
 	}
-	if hello.Version < wire.MinVersion || hello.Version > wire.Version {
+	if hello.Version < wire.MinVersion || hello.Version > wire.MaxVersion {
 		c.writeMsg(&wire.Error{Code: wire.CodeVersionMismatch,
 			Message: fmt.Sprintf("client speaks protocol %d, server speaks %d-%d",
-				hello.Version, wire.MinVersion, wire.Version)})
+				hello.Version, wire.MinVersion, wire.MaxVersion)})
 		return errors.New("server: version mismatch")
 	}
 	// The conversation runs at the client's version (never above ours, by the
@@ -201,6 +202,8 @@ func (c *conn) dispatch(rr readResult) bool {
 		return c.writeMsg(&wire.StatsText{Text: sb.String()}) == nil
 	case *wire.Introspect:
 		return c.introspect(m)
+	case *wire.Subscribe:
+		return c.runSubscribe(m)
 	case *wire.Cancel:
 		// Nothing in flight; a late Cancel for a query that already
 		// finished is legal and ignored.
@@ -233,6 +236,97 @@ func (c *conn) introspect(m *wire.Introspect) bool {
 		return c.writeMsg(&wire.Error{Code: wire.CodeInternal, Message: err.Error()}) == nil
 	}
 	return c.writeMsg(&wire.IntrospectResult{What: m.What, JSON: string(b)}) == nil
+}
+
+// runSubscribe streams a materialized view's deltas until the client cancels
+// (Cancel ends the stream with Done; the connection survives), the client
+// closes, or the subscription is cut server-side. The resume contract: the
+// client presents the Seq of the last delta it consumed, and the reply is
+// Subscribed{Seq, Snapshot} followed by the missed deltas (Snapshot=false) or
+// a full state image as GroupCreated deltas (Snapshot=true, token predates
+// ring retention — the client discards local state first). Live deltas follow
+// in Seq order. A consumer that falls behind the manager's buffer is cut with
+// a typed error; it re-subscribes with its token and resumes by ring replay.
+func (c *conn) runSubscribe(m *wire.Subscribe) bool {
+	if c.version < 3 {
+		// Subscribe exists only in protocol v3; a frame at a lower negotiated
+		// version is a protocol violation, mirroring the unexpected-frame arm
+		// of dispatch.
+		c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+			Message: fmt.Sprintf("Subscribe requires protocol 3, negotiated %d", c.version)})
+		return false
+	}
+	mgr := c.srv.cfg.Streams
+	if mgr == nil {
+		return c.writeMsg(&wire.Error{Code: wire.CodeQuery,
+			Message: "subscriptions are not enabled on this server"}) == nil
+	}
+	at, err := mgr.Subscribe(m.View, m.Token, 0)
+	if err != nil {
+		return c.writeMsg(&wire.Error{Code: wire.CodeQuery, Message: err.Error()}) == nil
+	}
+	defer at.Sub.Close()
+
+	reg := c.srv.db.Metrics()
+	reg.Counter("server_subscribes_total").Inc()
+	if err := c.writeMsg(&wire.Subscribed{Seq: at.Seq, Snapshot: at.Snapshot}); err != nil {
+		return false
+	}
+	for _, d := range at.Backlog {
+		if c.writeDelta(d) != nil {
+			return false
+		}
+	}
+	for {
+		select {
+		case <-c.ctx.Done():
+			return false
+		case <-c.drain:
+			c.writeMsg(&wire.Error{Code: wire.CodeShuttingDown, Message: "server is shutting down"})
+			return false
+		case d, ok := <-at.Sub.C:
+			if !ok {
+				// Lagged past the buffer, view dropped, or view broken. The
+				// client re-subscribes with its last consumed Seq.
+				c.writeMsg(&wire.Error{Code: wire.CodeQuery,
+					Message: "subscription interrupted (lagged or view dropped); resubscribe to resume"})
+				return true
+			}
+			if c.writeDelta(d) != nil {
+				return false
+			}
+		case rr := <-c.in:
+			if rr.err != nil {
+				return false
+			}
+			switch rr.msg.(type) {
+			case *wire.Cancel:
+				return c.writeMsg(&wire.Done{}) == nil
+			case *wire.Ping:
+				if c.writeMsg(&wire.Pong{}) != nil {
+					return false
+				}
+			case *wire.Close:
+				return false
+			default:
+				c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+					Message: fmt.Sprintf("unexpected %T during subscription", rr.msg)})
+				return false
+			}
+		}
+	}
+}
+
+// writeDelta maps a stream delta onto its wire frame.
+func (c *conn) writeDelta(d stream.Delta) error {
+	return c.writeMsg(&wire.Delta{
+		View:    d.View,
+		Seq:     d.Seq,
+		Kind:    uint8(d.Kind),
+		Group:   d.Group,
+		Members: d.Members,
+		Merged:  d.Merged,
+	})
 }
 
 // runQuery executes one statement on the session while concurrently watching

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"sgb/internal/obs"
+	"sgb/internal/stream"
 )
 
 // procEntry is one in-flight query tracked for the process list. The live
@@ -88,12 +89,21 @@ func (s *Server) recordFinished(e *procEntry, settings string, elapsed time.Dura
 //
 //	/debug/queries — the live process list ([]obs.QueryInfo)
 //	/debug/slowlog — the slow-query ring buffer, newest first ([]obs.SlowQuery)
+//	/debug/views   — materialized view status: state sizes, delta rate,
+//	                 staleness, subscriber counts ([]stream.ViewStatus)
 func (s *Server) RegisterDebug(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.ProcessList())
 	})
 	mux.HandleFunc("/debug/slowlog", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.slowlog.Entries())
+	})
+	mux.HandleFunc("/debug/views", func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.Streams == nil {
+			writeJSON(w, []stream.ViewStatus{})
+			return
+		}
+		writeJSON(w, s.cfg.Streams.Views())
 	})
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"sgb/internal/engine"
 	"sgb/internal/obs"
+	"sgb/internal/stream"
 	"sgb/internal/wire"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowLogSize is the slow-query ring buffer capacity; 0 means 128.
 	SlowLogSize int
+	// Streams, when non-nil, serves SUBSCRIBE: it is the stream manager
+	// maintaining the materialized similarity-group views (wired to the same
+	// DB via the store observer or AttachEngine). Subscribe frames are
+	// rejected when nil.
+	Streams *stream.Manager
 }
 
 // defaultSlowLogSize is the slow-query ring capacity when Config leaves it 0.

@@ -54,6 +54,30 @@ type StoreOptions struct {
 	Metrics *obs.Registry
 	// FS substitutes the filesystem (fault-injection tests); nil = real.
 	FS wal.FS
+	// Observer, when non-nil, follows the store's committed statement stream
+	// (see CommitObserver). The stream layer hooks here to keep materialized
+	// views incrementally maintained and to regenerate delta history on
+	// recovery.
+	Observer CommitObserver
+}
+
+// CommitObserver follows the store's committed statement stream — both the
+// statements replayed from the WAL during recovery and every statement logged
+// live afterwards — with each statement's WAL sequence number. Because the
+// delta stream an observer derives is a deterministic function of the
+// statement stream, replay regenerates exactly the history a crash lost.
+//
+// Bootstrap runs once during OpenStore, after the checkpoint image has loaded
+// and before the WAL tail replays; seq is the sequence the checkpoint covers.
+// Commit runs after a statement is applied and durable: during recovery from
+// the replay loop, and live from inside the engine's commit hook (statement
+// lock held, so observers may use engine read helpers like ScanFloats but
+// must not re-enter the DB's statement path). Commit is infallible by design:
+// view-maintenance problems must not fail writes, so observers record errors
+// internally and surface them out of band.
+type CommitObserver interface {
+	Bootstrap(db *engine.DB, seq uint64)
+	Commit(stmt engine.Statement, seq uint64)
 }
 
 // Store is a crash-durable engine.DB: a checkpoint snapshot plus a
@@ -107,6 +131,13 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	}
 	m := db.Metrics()
 
+	// Bootstrap the observer against the checkpoint image before the tail
+	// replays, so replayed statements arrive as incremental commits on top of
+	// the bootstrapped state — the same sequence a live subscriber saw.
+	if opts.Observer != nil {
+		opts.Observer.Bootstrap(db, seq)
+	}
+
 	// Replay the tail. The commit hook is not installed yet, so replayed
 	// statements are not re-appended to the log.
 	st, err := wal.Replay(s.fs, opts.Dir, seq, func(rec wal.Record) error {
@@ -115,6 +146,14 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		}
 		if _, err := db.ExecContext(context.Background(), string(rec.Data)); err != nil {
 			return err
+		}
+		if opts.Observer != nil {
+			// Re-parse so the observer sees the same typed statement the live
+			// hook hands it; parse errors are impossible here (the statement
+			// just executed).
+			if parsed, perr := engine.Parse(string(rec.Data)); perr == nil {
+				opts.Observer.Commit(parsed, rec.Seq)
+			}
 		}
 		return nil
 	})
@@ -161,7 +200,7 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 			return errors.New("server: cannot log a pre-parsed statement; execute SQL text")
 		}
 		appendStart := time.Now()
-		_, syncDur, err := s.log.AppendSynced(wal.KindStatement, []byte(sql))
+		seq, syncDur, err := s.log.AppendSynced(wal.KindStatement, []byte(sql))
 		if err != nil {
 			return err
 		}
@@ -176,6 +215,11 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		m.Counter("wal_append_bytes_total").Add(int64(len(sql)))
 		s.firstUncoveredNS.CompareAndSwap(0, time.Now().UnixNano())
 		m.Gauge("checkpoint_lag_seq").Set(float64(s.log.LastSeq() - s.ckptSeq.Load()))
+		if opts.Observer != nil {
+			// After durability: the observer only ever sees acknowledged-able
+			// statements, stamped with their WAL sequence.
+			opts.Observer.Commit(stmt, seq)
+		}
 		return nil
 	})
 
@@ -189,13 +233,15 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 }
 
 // loggedStatement reports whether stmt belongs in the WAL: the catalog- and
-// data-mutating statements. Views are session-scoped query definitions and
-// are not persisted (matching snapshots), so view DDL is not logged.
+// data-mutating statements. Plain views are session-scoped query definitions
+// and are not persisted (matching snapshots), so their DDL is not logged;
+// materialized views are durable catalog objects, so theirs is.
 func loggedStatement(stmt engine.Statement) bool {
 	switch stmt.(type) {
 	case *engine.InsertStmt, *engine.UpdateStmt, *engine.DeleteStmt, *engine.CopyStmt,
 		*engine.CreateTableStmt, *engine.DropTableStmt,
-		*engine.CreateIndexStmt, *engine.DropIndexStmt:
+		*engine.CreateIndexStmt, *engine.DropIndexStmt,
+		*engine.CreateMaterializedViewStmt, *engine.DropMaterializedViewStmt:
 		return true
 	}
 	return false

@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"sgb/internal/client"
+	"sgb/internal/stream"
+)
+
+// TestSubscribeResumeKill9 is the streaming acceptance crash test: a managed
+// subscription rides through a kill -9 of the server mid-ingest. The client
+// reconnects with its resume token, the restarted server regenerates delta
+// history from WAL replay, and the subscriber's replayed state must converge
+// on the server's — no lost and no duplicated deltas for consumed sequences.
+func TestSubscribeResumeKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real sgbd process")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics")
+	}
+	dataDir := t.TempDir()
+	p := startSgbd(t, dataDir)
+	defer p.cmd.Process.Kill()
+
+	setup, err := client.Connect(p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec("CREATE TABLE pts (x FLOAT, y FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec("CREATE MATERIALIZED VIEW live_v AS SELECT x, y FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sub, err := client.Subscribe(ctx, p.addr, "live_v", client.Options{
+		MaxRetries: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The consumer replays every event into state, checking the no-dup /
+	// no-loss discipline as it goes: within one attach, delta sequences never
+	// move backwards (snapshot-image deltas legitimately share one Seq).
+	var (
+		mu      sync.Mutex
+		state   = make(map[int64][]int64)
+		lastSeq uint64
+		seqErr  error
+	)
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for ev := range sub.Events {
+			mu.Lock()
+			if ev.Rebase {
+				state = make(map[int64][]int64)
+				lastSeq = 0
+			} else {
+				if ev.Delta.Seq < lastSeq && seqErr == nil {
+					seqErr = fmt.Errorf("delta seq regressed: %d after %d", ev.Delta.Seq, lastSeq)
+				}
+				lastSeq = ev.Delta.Seq
+				stream.Apply(state, ev.Delta)
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Phase 1: acknowledged single-row inserts until the crash. Points land
+	// on a sparse diagonal so most inserts create groups and some merge.
+	insert := func(conn *client.Conn, i int) error {
+		_, err := conn.Exec(fmt.Sprintf("INSERT INTO pts VALUES (%d.0, %d.5)", i%40, (i*3)%20))
+		return err
+	}
+	writer, err := client.Connect(p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := 0
+	for i := 0; acked < 25; i++ {
+		if err := insert(writer, i); err != nil {
+			t.Fatalf("pre-crash insert %d: %v", i, err)
+		}
+		acked++
+	}
+	writer.Close()
+
+	// Kill -9 with the subscription live, then restart on the same address
+	// so the managed subscription's reconnect loop finds the new process.
+	p.cmd.Process.Signal(syscall.SIGKILL)
+	p.cmd.Wait()
+	p2 := startSgbd(t, dataDir, "-addr", p.addr)
+	defer func() {
+		p2.cmd.Process.Signal(syscall.SIGTERM)
+		p2.cmd.Wait()
+	}()
+
+	// Phase 2: more acknowledged writes after recovery.
+	writer2, err := client.ConnectContext(ctx, p2.addr, client.Options{MaxRetries: 20, BaseDelay: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1000; i < 1015; i++ {
+		if err := insert(writer2, i); err != nil {
+			t.Fatalf("post-recovery insert %d: %v", i, err)
+		}
+	}
+
+	// Reference: a fresh snapshot attach serves the server's current state.
+	reference := func() map[int64][]int64 {
+		c, err := client.Connect(p2.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		ss, err := c.SubscribeOnce("live_v", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Detach before the connection closes: Conn.Close waits for the
+		// active conversation, and a subscription only ends on demand.
+		defer ss.Close()
+		if !ss.Snapshot {
+			t.Fatal("token 0 after restart must snapshot")
+		}
+		img := make(map[int64][]int64)
+		for {
+			d, derr := ss.Next()
+			if derr != nil {
+				t.Fatalf("reference stream: %v", derr)
+			}
+			stream.Apply(img, d)
+			if memberCount(img) >= 25+15 {
+				return img
+			}
+		}
+	}
+	// The snapshot image is finite (one delta per group) but the stream stays
+	// open after it; read until the image covers every row.
+	want := reference()
+
+	// The subscriber must converge on the same state.
+	deadline := time.After(60 * time.Second)
+	for {
+		mu.Lock()
+		got := make(map[int64][]int64, len(state))
+		for g, ms := range state {
+			got[g] = append([]int64(nil), ms...)
+		}
+		serr := seqErr
+		mu.Unlock()
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		if reflect.DeepEqual(got, want) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("subscriber never converged\n got: %v\nwant: %v", got, want)
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	if n := memberCount(want); n != 40 {
+		t.Fatalf("reference covers %d rows, want 40", n)
+	}
+	cancel()
+	select {
+	case <-consumerDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumer never stopped after cancel")
+	}
+	if err := sub.Err(); err != nil && err != context.Canceled {
+		t.Fatalf("subscription error: %v", err)
+	}
+}
+
+func memberCount(state map[int64][]int64) int {
+	n := 0
+	for _, ms := range state {
+		n += len(ms)
+	}
+	return n
+}

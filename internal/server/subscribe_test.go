@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"sgb/internal/client"
+	"sgb/internal/engine"
+	"sgb/internal/stream"
+)
+
+// streamServer boots a server whose engine has an attached stream manager and
+// one materialized view over a fresh pts table.
+func streamServer(t *testing.T) (*Server, *engine.DB, *stream.Manager) {
+	t.Helper()
+	db := engine.NewDB()
+	mgr := stream.NewManager()
+	if _, err := db.Exec("CREATE TABLE pts (x FLOAT, y FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+	mgr.AttachEngine(db)
+	if _, err := db.Exec("CREATE MATERIALIZED VIEW groups_v AS SELECT x, y FROM pts GROUP BY x, y DISTANCE-TO-ANY L2 WITHIN 1.5"); err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, db, Config{Addr: "127.0.0.1:0", Streams: mgr})
+	return srv, db, mgr
+}
+
+// TestSubscribeEndToEnd walks the whole wire path: snapshot attach, live
+// deltas for committed writes, clean detach with the connection returning to
+// query duty, and an exact-suffix resume from a mid-stream token.
+func TestSubscribeEndToEnd(t *testing.T) {
+	srv, _, mgr := streamServer(t)
+	sub := connect(t, srv)
+	writer := connect(t, srv)
+
+	ss, err := sub.SubscribeOnce("groups_v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ss.Snapshot {
+		t.Fatal("fresh token must attach as a snapshot")
+	}
+
+	// Committed writes stream as deltas; replaying them tracks the view.
+	state := make(map[int64][]int64)
+	var lastSeq uint64
+	for i := 0; i < 6; i++ {
+		if _, err := writer.Exec(fmt.Sprintf("INSERT INTO pts VALUES (%d.0, 0.5)", i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for len(state) < 6 {
+		d, err := ss.Next()
+		if err != nil {
+			t.Fatalf("stream ended early: %v", err)
+		}
+		if d.Seq <= lastSeq {
+			t.Fatalf("non-monotonic delta seq %d after %d", d.Seq, lastSeq)
+		}
+		lastSeq = d.Seq
+		stream.Apply(state, d)
+	}
+	want, err := mgr.State("groups_v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(state, want) {
+		t.Fatalf("replayed state diverged\n got: %v\nwant: %v", state, want)
+	}
+
+	// Clean detach: the connection must be usable for plain queries again.
+	if err := ss.Close(); err != nil {
+		t.Fatalf("close subscription: %v", err)
+	}
+	res, err := sub.Query(context.Background(), "SELECT count(*) FROM pts")
+	if err != nil {
+		t.Fatalf("query after unsubscribe: %v", err)
+	}
+	if res.Rows[0][0].I != 6 {
+		t.Fatalf("count = %d, want 6", res.Rows[0][0].I)
+	}
+
+	// Resume after the last consumed seq: only newer deltas arrive.
+	if _, err := writer.Exec("INSERT INTO pts VALUES (100.0, 0.5)"); err != nil {
+		t.Fatal(err)
+	}
+	ss2, err := sub.SubscribeOnce("groups_v", lastSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss2.Snapshot {
+		t.Fatal("in-retention resume must not snapshot")
+	}
+	d, err := ss2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Seq <= lastSeq {
+		t.Fatalf("resume replayed consumed seq %d (token %d)", d.Seq, lastSeq)
+	}
+	stream.Apply(state, d)
+	if want, _ = mgr.State("groups_v"); !reflect.DeepEqual(state, want) {
+		t.Fatalf("post-resume state diverged")
+	}
+	ss2.Close()
+}
+
+// TestSubscribeErrors pins the failure modes that must keep the connection
+// alive: an unknown view, and a server with no stream manager at all.
+func TestSubscribeErrors(t *testing.T) {
+	srv, _, _ := streamServer(t)
+	c := connect(t, srv)
+	if _, err := c.SubscribeOnce("nope", 0); err == nil {
+		t.Fatal("unknown view must refuse subscription")
+	}
+	if _, err := c.Query(context.Background(), "SELECT count(*) FROM pts"); err != nil {
+		t.Fatalf("connection unusable after refused subscribe: %v", err)
+	}
+
+	plain := startServer(t, engine.NewDB(), Config{Addr: "127.0.0.1:0"})
+	c2 := connect(t, plain)
+	if _, err := c2.SubscribeOnce("groups_v", 0); err == nil {
+		t.Fatal("server without streams must refuse subscription")
+	}
+	if _, err := c2.Query(context.Background(), "SELECT 1"); err != nil {
+		t.Fatalf("connection unusable after refused subscribe: %v", err)
+	}
+}
+
+// TestManagedSubscribe exercises the auto-reconnecting client wrapper against
+// a live server: events flow, and canceling the context ends the stream
+// cleanly with a closed channel and a nil error.
+func TestManagedSubscribe(t *testing.T) {
+	srv, _, mgr := streamServer(t)
+	writer := connect(t, srv)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sub, err := client.Subscribe(ctx, srv.Addr().String(), "groups_v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make(map[int64][]int64)
+	go func() {
+		for i := 0; i < 5; i++ {
+			writer.Exec(fmt.Sprintf("INSERT INTO pts VALUES (%d.0, 0.5)", i*10))
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for len(state) < 5 {
+		select {
+		case ev, ok := <-sub.Events:
+			if !ok {
+				t.Fatalf("events closed early: %v", sub.Err())
+			}
+			if ev.Rebase {
+				state = make(map[int64][]int64)
+				continue
+			}
+			stream.Apply(state, ev.Delta)
+		case <-deadline:
+			t.Fatal("never saw all five groups")
+		}
+	}
+	if want, _ := mgr.State("groups_v"); !reflect.DeepEqual(state, want) {
+		t.Fatalf("managed subscription state diverged")
+	}
+	cancel()
+	for {
+		if _, ok := <-sub.Events; !ok {
+			break
+		}
+	}
+	if err := sub.Err(); err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, io.EOF) {
+		t.Fatalf("unexpected error after cancel: %v", err)
+	}
+
+	// An unknown view fails synchronously, not via the channel.
+	if _, err := client.Subscribe(context.Background(), srv.Addr().String(), "nope"); err == nil {
+		t.Fatal("managed subscribe to unknown view must fail immediately")
+	}
+}

@@ -17,14 +17,16 @@
 // engine's type tags; the encoding round-trips engine.Value exactly
 // (including the NaN bit patterns the float encoding preserves).
 //
-// Protocol versioning: Version is a single monotonically increasing integer.
-// A server accepts any Hello version in [MinVersion, Version] and echoes the
-// accepted version in Welcome; it refuses anything else with
+// Protocol versioning: MaxVersion is a single monotonically increasing
+// integer. A server accepts any Hello version in [MinVersion, MaxVersion] and
+// echoes the accepted version in Welcome; it refuses anything else with
 // CodeVersionMismatch, naming its own range in the error message. A client
 // dialing an older server retries the handshake at the server's version.
 // Additive changes (new message types, new Set keys) that old peers can
 // safely ignore do not bump the version; changes to existing frame layouts
-// do.
+// do. Every negotiation site — the server's Hello check and error text, the
+// client's opening dial — must reference MaxVersion rather than a literal, so
+// a version bump cannot leave a straggler advertising the old ceiling.
 //
 // Version history:
 //
@@ -34,6 +36,12 @@
 //	   process list and slow-query log. A v2 server still accepts v1
 //	   clients (which simply never attach trace IDs), and a v2 client
 //	   downgrades to v1 framing against a v1 server.
+//	3: streaming subscriptions over materialized similarity-group views:
+//	   Subscribe opens a delta stream with a WAL-seq resume token,
+//	   Subscribed acknowledges it, and Delta frames push typed group
+//	   changes (created / member joined / merged / dissolved). v1/v2
+//	   clients are unaffected — they never send Subscribe — and a v3
+//	   client still downgrades for plain queries against older servers.
 package wire
 
 import (
@@ -48,9 +56,16 @@ import (
 	"sgb/internal/obs"
 )
 
-// Version is the newest protocol version this package speaks. See the
+// MaxVersion is the newest protocol version this package speaks, and the
+// single source of truth every negotiation site must reference. See the
 // package comment for the compatibility policy.
-const Version = 2
+const MaxVersion = 3
+
+// Version is the newest protocol version this package speaks.
+//
+// Deprecated: it is an alias for MaxVersion, kept so existing callers keep
+// compiling; new code should spell MaxVersion.
+const Version = MaxVersion
 
 // MinVersion is the oldest protocol version a server still accepts.
 const MinVersion = 1
@@ -75,6 +90,7 @@ const (
 	TypeStats      byte = 0x06 // client: request the server metrics snapshot
 	TypeClose      byte = 0x07 // client: graceful goodbye
 	TypeIntrospect byte = 0x08 // client: request process list / slowlog (v2+)
+	TypeSubscribe  byte = 0x09 // client: open a materialized-view delta stream (v3+)
 
 	TypeWelcome          byte = 0x81 // server: handshake accepted
 	TypeRowHeader        byte = 0x82 // server: result column names
@@ -84,6 +100,22 @@ const (
 	TypePong             byte = 0x86 // server: ping reply
 	TypeStatsText        byte = 0x87 // server: Prometheus text metrics
 	TypeIntrospectResult byte = 0x88 // server: introspection JSON (v2+)
+	TypeSubscribed       byte = 0x89 // server: subscription accepted (v3+)
+	TypeDelta            byte = 0x8A // server: one group delta (v3+)
+)
+
+// Delta kinds carried by the Delta message. The numeric values are shared
+// with internal/stream's DeltaKind, so the wire byte is the stream kind.
+const (
+	// DeltaGroupCreated introduces a new group with its initial members.
+	DeltaGroupCreated uint8 = 1
+	// DeltaMemberJoined adds members to an existing group.
+	DeltaMemberJoined uint8 = 2
+	// DeltaGroupsMerged folds the Merged groups' members into Group (the
+	// surviving, smallest-id group) and removes them.
+	DeltaGroupsMerged uint8 = 3
+	// DeltaGroupDissolved removes a group outright.
+	DeltaGroupDissolved uint8 = 4
 )
 
 // Introspection targets carried by the Introspect message.
@@ -188,6 +220,44 @@ type IntrospectResult struct {
 	JSON string
 }
 
+// Subscribe (v3+) opens a delta stream over a materialized similarity-group
+// view. Token is the resume position: the WAL sequence of the last delta the
+// client has durably consumed, or 0 for "from the beginning". The server
+// replays every retained delta with a sequence greater than Token before
+// switching to live pushes; if Token predates its retention horizon it sends
+// a full state snapshot instead (see Subscribed.Snapshot).
+type Subscribe struct {
+	View  string
+	Token uint64
+}
+
+// Subscribed (v3+) accepts a Subscribe. Seq is the view's current position
+// (the WAL sequence of the last commit folded into it). When Snapshot is
+// true, the client's resume token was 0 or predated the server's delta
+// retention, so the frames that follow are a full state snapshot (synthetic
+// GroupCreated deltas stamped at Seq) and the client must discard any state
+// it was holding; otherwise the stream resumes exactly after Token with no
+// gaps or repeats.
+type Subscribed struct {
+	Seq      uint64
+	Snapshot bool
+}
+
+// Delta (v3+) is one typed change to a materialized view's group state.
+// Group ids are stable: a group is identified by its smallest member row id.
+// Replay semantics, applied in stream order against a map of group id →
+// member set: Created sets the group; Joined unions Members in; Merged moves
+// every member of each Merged group into Group and deletes the sources;
+// Dissolved deletes the group.
+type Delta struct {
+	View    string
+	Seq     uint64
+	Kind    uint8
+	Group   int64
+	Members []int64 // Created: initial members; Joined: the new members
+	Merged  []int64 // GroupsMerged: ids of the absorbed groups
+}
+
 // StatsText carries the metrics registry in Prometheus text format.
 type StatsText struct {
 	Text string
@@ -230,6 +300,9 @@ func (e *Error) Error() string {
 
 func (*Introspect) wireType() byte       { return TypeIntrospect }
 func (*IntrospectResult) wireType() byte { return TypeIntrospectResult }
+func (*Subscribe) wireType() byte        { return TypeSubscribe }
+func (*Subscribed) wireType() byte       { return TypeSubscribed }
+func (*Delta) wireType() byte            { return TypeDelta }
 
 func (*Hello) wireType() byte     { return TypeHello }
 func (*Welcome) wireType() byte   { return TypeWelcome }
@@ -363,6 +436,29 @@ func appendPayload(b []byte, m Message) ([]byte, error) {
 	case *IntrospectResult:
 		b = appendString(b, m.What)
 		b = appendString(b, m.JSON)
+	case *Subscribe:
+		b = appendString(b, m.View)
+		b = appendUint64(b, m.Token)
+	case *Subscribed:
+		b = appendUint64(b, m.Seq)
+		if m.Snapshot {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case *Delta:
+		b = appendString(b, m.View)
+		b = appendUint64(b, m.Seq)
+		b = append(b, m.Kind)
+		b = appendUint64(b, uint64(m.Group))
+		b = appendUint32(b, uint32(len(m.Members)))
+		for _, id := range m.Members {
+			b = appendUint64(b, uint64(id))
+		}
+		b = appendUint32(b, uint32(len(m.Merged)))
+		for _, id := range m.Merged {
+			b = appendUint64(b, uint64(id))
+		}
 	case *StatsText:
 		b = appendString(b, m.Text)
 	case *RowHeader:
@@ -427,6 +523,31 @@ func decodePayload(typ byte, b []byte) (Message, error) {
 		m = &Introspect{What: d.string()}
 	case TypeIntrospectResult:
 		m = &IntrospectResult{What: d.string(), JSON: d.string()}
+	case TypeSubscribe:
+		m = &Subscribe{View: d.string(), Token: d.uint64()}
+	case TypeSubscribed:
+		s := &Subscribed{Seq: d.uint64()}
+		if f := d.bytes(1); d.err == nil {
+			s.Snapshot = f[0] != 0
+		}
+		m = s
+	case TypeDelta:
+		dl := &Delta{View: d.string(), Seq: d.uint64()}
+		if k := d.bytes(1); d.err == nil {
+			dl.Kind = k[0]
+		}
+		dl.Group = int64(d.uint64())
+		n := d.count()
+		dl.Members = make([]int64, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			dl.Members = append(dl.Members, int64(d.uint64()))
+		}
+		n = d.count()
+		dl.Merged = make([]int64, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			dl.Merged = append(dl.Merged, int64(d.uint64()))
+		}
+		m = dl
 	case TypeStatsText:
 		m = &StatsText{Text: d.string()}
 	case TypeClose:
