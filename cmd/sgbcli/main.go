@@ -67,6 +67,7 @@ import (
 	"sgb/internal/engine"
 	"sgb/internal/stream"
 	"sgb/internal/tpch"
+	"sgb/internal/wire"
 )
 
 // session bundles the shell's state: the embedded database handle or the
@@ -148,6 +149,7 @@ func main() {
 				fmt.Printf("canceled after %v\n", elapsed.Round(time.Millisecond))
 			} else {
 				fmt.Println("error:", err)
+				printErrHint(err)
 			}
 		} else {
 			printResult(res)
@@ -168,6 +170,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "slow query (%v): %s\n", elapsed, firstLine(sql))
 		}
 		prompt()
+	}
+}
+
+// printErrHint translates the server's typed degradation errors into a
+// human next step, including the server's retry-after hint when present.
+func printErrHint(err error) {
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		return
+	}
+	retry := ""
+	if d := se.RetryAfter(); d > 0 {
+		retry = fmt.Sprintf(" (server suggests retrying in %v)", d)
+	}
+	switch se.Code {
+	case wire.CodeReadOnly:
+		fmt.Printf("hint: server is read-only: disk full or write fault; reads keep working and writes resume automatically once the disk recovers%s\n", retry)
+	case wire.CodeOverloaded:
+		fmt.Printf("hint: server is shedding load (admission queue or memory budget full); retry the statement%s\n", retry)
 	}
 }
 
@@ -460,6 +481,7 @@ func metaRemote(s *session, cmd string) bool {
 			fmt.Println("stats failed:", err)
 			break
 		}
+		printStatsHeadline(text)
 		fmt.Print(text)
 	case "\\alg":
 		if len(fields) != 2 {
@@ -512,6 +534,32 @@ func metaRemote(s *session, cmd string) bool {
 		fmt.Println("unknown command:", fields[0])
 	}
 	return true
+}
+
+// printStatsHeadline surfaces the server's degradation state above the raw
+// Prometheus dump: read-only mode, queued admissions, and memory pressure
+// are the first things an operator checks when queries misbehave.
+func printStatsHeadline(text string) {
+	get := func(name string) (float64, bool) {
+		for _, line := range strings.Split(text, "\n") {
+			if rest, ok := strings.CutPrefix(line, name+" "); ok {
+				v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+				return v, err == nil
+			}
+		}
+		return 0, false
+	}
+	if v, ok := get("server_degraded"); ok && v != 0 {
+		fmt.Println("!! server is DEGRADED (read-only): writes are rejected until the disk probe recovers")
+	}
+	if v, ok := get("server_admission_queued"); ok && v > 0 {
+		fmt.Printf("!! %d statement(s) queued for admission (server at max-active-queries)\n", int64(v))
+	}
+	used, okUsed := get("engine_mem_used_bytes")
+	budget, okBudget := get("engine_mem_budget_bytes")
+	if okUsed && okBudget && budget > 0 {
+		fmt.Printf("memory: %.0f of %.0f budget bytes in use (%.0f%%)\n", used, budget, 100*used/budget)
+	}
 }
 
 // subscribe streams a materialized view's deltas to stdout until Ctrl-C,

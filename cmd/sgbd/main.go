@@ -33,6 +33,14 @@
 //	                 Nth statement (1 = every statement, 0 = never)
 //	-auto-analyze    re-ANALYZE tables in the background when a write pushes
 //	                 their statistics past the staleness threshold (default on)
+//	-mem-budget N    process-wide query memory budget (suffix K/M/G; 0 = off).
+//	                 Queries are admitted against it and shed with a typed
+//	                 retryable error under sustained pressure
+//	-max-active-queries N  cap statements executing concurrently (0 = off);
+//	                 excess statements queue, then shed with CodeOverloaded
+//	-admission-queue N  bound on statements waiting for an execution slot
+//	-probe-interval D  how often a degraded (read-only after disk fault) store
+//	                 re-probes the disk and tries to promote back to writable
 //	-version         print version and build info, then exit
 //
 // The metrics listener also serves the observability surface: /debug/queries
@@ -73,6 +81,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -111,6 +120,11 @@ func main() {
 		slowlogSize  = flag.Int("slowlog-size", 128, "slow-query ring buffer capacity")
 		traceSample  = flag.Int("trace-sample", engine.DefaultTraceSampling, "collect EXPLAIN ANALYZE actuals every Nth statement (1 = always, 0 = never)")
 		autoAnalyze  = flag.Bool("auto-analyze", true, "re-ANALYZE tables in the background when their statistics go stale")
+		memBudget    = flag.String("mem-budget", "", "process-wide query memory budget, e.g. 256M or 2G (empty/0 = unlimited)")
+		maxActive    = flag.Int("max-active-queries", 0, "max statements executing concurrently (0 = unlimited)")
+		admitQueue   = flag.Int("admission-queue", 0, "max statements waiting for an execution slot (0 = default 64)")
+		probeEvery   = flag.Duration("probe-interval", 0, "degraded-store disk re-probe period (0 = default 1s)")
+		faultBudget  = flag.Int64("fault-disk-budget", 0, "TESTING ONLY: inject ENOSPC after this many WAL bytes (0 = off)")
 		showVersion  = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
@@ -127,6 +141,13 @@ func main() {
 		alg: *alg, drainTimeout: *drainTimeout,
 		slowQuery: *slowQuery, slowlogSize: *slowlogSize, traceSample: *traceSample,
 		autoAnalyze: *autoAnalyze,
+		maxActive:   *maxActive, admitQueue: *admitQueue,
+		probeInterval: *probeEvery, faultDiskBudget: *faultBudget,
+	}
+	var err error
+	if cfg.memBudget, err = parseBytes(*memBudget); err != nil {
+		fmt.Fprintln(os.Stderr, "sgbd: bad -mem-budget:", err)
+		os.Exit(1)
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sgbd:", err)
@@ -152,6 +173,32 @@ type daemonConfig struct {
 	slowlogSize        int
 	traceSample        int
 	autoAnalyze        bool
+	memBudget          int64
+	maxActive          int
+	admitQueue         int
+	probeInterval      time.Duration
+	faultDiskBudget    int64
+}
+
+// parseBytes parses a byte count with an optional K/M/G suffix ("256M").
+func parseBytes(s string) (int64, error) {
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	switch s[len(s)-1] {
+	case 'k', 'K':
+		mult, s = 1<<10, s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 1<<20, s[:len(s)-1]
+	case 'g', 'G':
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("want a non-negative byte count like 256M, got %q", s)
+	}
+	return n * mult, nil
 }
 
 func run(cfg daemonConfig) error {
@@ -218,6 +265,15 @@ func run(cfg daemonConfig) error {
 		if err != nil {
 			return err
 		}
+		var fs wal.FS
+		if cfg.faultDiskBudget > 0 {
+			// Testing hook: a FaultFS with an ENOSPC byte budget simulates the
+			// disk filling up mid-run, driving the degraded read-only mode.
+			ffs := wal.NewFaultFS(wal.OS)
+			ffs.FailWithENOSPCAfter(cfg.faultDiskBudget)
+			fs = ffs
+			fmt.Printf("fault injection: WAL ENOSPC after %d bytes\n", cfg.faultDiskBudget)
+		}
 		store, err = server.OpenStore(server.StoreOptions{
 			Dir:                cfg.dataDir,
 			Policy:             policy,
@@ -225,6 +281,8 @@ func run(cfg daemonConfig) error {
 			CheckpointInterval: cfg.checkpointInterval,
 			Metrics:            reg,
 			Observer:           streams,
+			FS:                 fs,
+			ProbeInterval:      cfg.probeInterval,
 		})
 		if err != nil {
 			return err
@@ -268,6 +326,9 @@ func run(cfg daemonConfig) error {
 	db.SetLimits(engine.Limits{MaxRowsMaterialized: cfg.maxRows, MaxExecutionTime: cfg.maxTime})
 	db.SetTraceSampling(cfg.traceSample)
 	db.SetAutoAnalyze(cfg.autoAnalyze)
+	// The budget arms only after recovery: boot-time WAL replay must never be
+	// subject to admission control.
+	db.SetMemoryBudget(cfg.memBudget)
 
 	srv := server.New(db, server.Config{
 		Addr:               cfg.addr,
@@ -276,6 +337,9 @@ func run(cfg daemonConfig) error {
 		SlowQueryThreshold: cfg.slowQuery,
 		SlowLogSize:        cfg.slowlogSize,
 		Streams:            streams,
+		Store:              store,
+		MaxActiveQueries:   cfg.maxActive,
+		AdmissionQueue:     cfg.admitQueue,
 	})
 	if err := srv.Start(); err != nil {
 		return err
@@ -287,6 +351,12 @@ func run(cfg daemonConfig) error {
 		srv.RegisterDebug(mux)
 	}
 	fmt.Printf("listening on %s\n", srv.Addr())
+	if store != nil {
+		health.SetDegradedFunc(func() bool {
+			degraded, _, _ := store.Degraded()
+			return degraded
+		})
+	}
 	health.SetReady(true)
 
 	// Graceful shutdown: SIGINT/SIGTERM stops accepting, drains in-flight

@@ -1,0 +1,167 @@
+// Package chaos is the fault-injection harness for sgbd's acceptance tests.
+//
+// Its centerpiece is Proxy, a TCP relay that sits between a client and a
+// server and misbehaves on demand: added latency, connection resets, frames
+// truncated mid-payload, and single-byte corruption. Combined with
+// wal.FaultFS (disk faults) and engine.DB.SetExecHook (statement panics and
+// stalls), it drives the chaos matrix: under every injected fault the daemon
+// must keep serving reads, no acknowledged write may be lost across kill -9
+// and restart, and in-budget queries must complete bit-identical to an
+// unloaded run.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan is one connection's fault schedule. The zero value relays faithfully.
+// Byte offsets are 1-based and count client→server traffic only, so a plan
+// can target a precise position inside a known frame; server→client traffic
+// always relays untouched (the protocol under test must survive request-path
+// damage, and response-path damage exercises the same client code paths).
+type Plan struct {
+	// Latency delays every client→server write by this much.
+	Latency time.Duration
+	// ResetAfter, when > 0, hard-resets the connection (RST, not FIN) once
+	// this many client→server bytes have been relayed.
+	ResetAfter int64
+	// TruncateAfter, when > 0, relays this many client→server bytes and then
+	// closes both sides cleanly — the server sees a partial frame.
+	TruncateAfter int64
+	// CorruptAt, when > 0, XOR-flips the byte at this 1-based client→server
+	// offset, leaving length intact — a CRC/decode-level fault.
+	CorruptAt int64
+}
+
+// Proxy is a fault-injecting TCP relay. Create with New; point clients at
+// Addr(). Each accepted connection captures the plan current at accept time,
+// so SetPlan between dials gives per-connection fault schedules.
+type Proxy struct {
+	target string
+	ln     net.Listener
+
+	mu   sync.Mutex
+	plan Plan
+
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// New starts a proxy on a random localhost port relaying to target.
+func New(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{target: target, ln: ln}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — dial this instead of the real server.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetPlan installs the fault schedule for connections accepted from now on.
+func (p *Proxy) SetPlan(plan Plan) {
+	p.mu.Lock()
+	p.plan = plan
+	p.mu.Unlock()
+}
+
+// Close stops accepting and waits for the relay goroutines to finish.
+func (p *Proxy) Close() {
+	p.closed.Do(func() { p.ln.Close() })
+	p.wg.Wait()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cl, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		plan := p.plan
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.relay(cl, plan)
+	}
+}
+
+// relay runs one proxied connection to completion under its fault plan.
+func (p *Proxy) relay(cl net.Conn, plan Plan) {
+	defer p.wg.Done()
+	sv, err := net.Dial("tcp", p.target)
+	if err != nil {
+		cl.Close()
+		return
+	}
+	var once sync.Once
+	closeBoth := func() {
+		once.Do(func() {
+			cl.Close()
+			sv.Close()
+		})
+	}
+	reset := func() {
+		once.Do(func() {
+			// SetLinger(0) makes Close send RST instead of FIN: the peer sees
+			// a connection reset, not a clean end-of-stream.
+			if tc, ok := cl.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			cl.Close()
+			sv.Close()
+		})
+	}
+
+	var inner sync.WaitGroup
+	inner.Add(2)
+	// Client → server: the faulted direction.
+	go func() {
+		defer inner.Done()
+		defer closeBoth()
+		var relayed int64
+		buf := make([]byte, 4096)
+		for {
+			n, err := cl.Read(buf)
+			if n > 0 {
+				b := buf[:n]
+				if plan.CorruptAt > relayed && plan.CorruptAt <= relayed+int64(n) {
+					b[plan.CorruptAt-relayed-1] ^= 0xFF
+				}
+				if plan.TruncateAfter > 0 && relayed+int64(n) >= plan.TruncateAfter {
+					sv.Write(b[:plan.TruncateAfter-relayed])
+					return
+				}
+				if plan.Latency > 0 {
+					time.Sleep(plan.Latency)
+				}
+				if _, werr := sv.Write(b); werr != nil {
+					return
+				}
+				relayed += int64(n)
+				if plan.ResetAfter > 0 && relayed >= plan.ResetAfter {
+					reset()
+					return
+				}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	// Server → client: faithful relay.
+	go func() {
+		defer inner.Done()
+		defer closeBoth()
+		io.Copy(cl, sv) //nolint:errcheck
+	}()
+	inner.Wait()
+}

@@ -105,15 +105,8 @@ func ConnectContext(ctx context.Context, addr string, opts ...Options) (*Conn, e
 		if attempt >= o.MaxRetries || ctx.Err() != nil || !retryable(err) {
 			return nil, err
 		}
-		// Exponential backoff with jitter: half the window fixed, half
-		// random, so a thundering herd of reconnecting clients spreads out.
-		delay := o.BaseDelay << attempt
-		if delay > o.MaxDelay || delay <= 0 {
-			delay = o.MaxDelay
-		}
-		sleep := delay/2 + rand.N(delay/2+1)
 		select {
-		case <-time.After(sleep):
+		case <-time.After(backoffDelay(err, attempt, o)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -123,12 +116,37 @@ func ConnectContext(ctx context.Context, addr string, opts ...Options) (*Conn, e
 // retryable classifies a connect failure: transport errors and the server's
 // transient rejections are worth another attempt; protocol-level refusals
 // (version mismatch, bad handshake) will fail the same way every time.
+// CodeReadOnly (degraded store pending disk recovery) and CodeOverloaded
+// (admission queue full) are transient by design — the server attaches a
+// retry-after hint that backoffDelay honors.
 func retryable(err error) bool {
 	var se *ServerError
 	if errors.As(err, &se) {
-		return se.Code == wire.CodeTooManyConnections || se.Code == wire.CodeShuttingDown
+		switch se.Code {
+		case wire.CodeTooManyConnections, wire.CodeShuttingDown,
+			wire.CodeReadOnly, wire.CodeOverloaded:
+			return true
+		}
+		return false
 	}
 	return true
+}
+
+// backoffDelay computes the next retry sleep. When the server attached a
+// retry-after hint (v4), the hint wins — plus up to 25% jitter so a herd of
+// hinted clients still spreads out. Otherwise: exponential backoff with
+// jitter, half the window fixed and half random.
+func backoffDelay(err error, attempt int, o Options) time.Duration {
+	var se *ServerError
+	if errors.As(err, &se) && se.RetryAfterMS != 0 {
+		hint := se.RetryAfter()
+		return hint + rand.N(hint/4+1)
+	}
+	delay := o.BaseDelay << attempt
+	if delay > o.MaxDelay || delay <= 0 {
+		delay = o.MaxDelay
+	}
+	return delay/2 + rand.N(delay/2+1)
 }
 
 // dialAndHandshake performs one connection attempt at the current protocol

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -257,13 +256,10 @@ func subscribeAttach(ctx context.Context, addr, view string, token uint64, o Opt
 		if attempt >= o.MaxRetries || !retryable(err) {
 			return nil, nil, lastErr
 		}
-		delay := o.BaseDelay << attempt
-		if delay > o.MaxDelay || delay <= 0 {
-			delay = o.MaxDelay
-		}
-		sleep := delay/2 + rand.N(delay/2+1)
+		// Same schedule as ConnectContext, honoring a server retry-after hint
+		// (e.g. a degraded store still replaying after a disk fault).
 		select {
-		case <-time.After(sleep):
+		case <-time.After(backoffDelay(err, attempt, o)):
 		case <-ctx.Done():
 			return nil, nil, ctx.Err()
 		}

@@ -170,15 +170,19 @@ func (p *projectOp) nextBatch(dst []Row) ([]Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return projectBatch(batch, p.fns, dst)
+	return projectBatch(batch, p.fns, dst, p.qc)
 }
 
 // projectBatch evaluates the projection over a batch, carving the output rows
 // out of one flat Value arena — a single allocation per batch instead of one
 // per row. The arena is never recycled, so the produced rows stay valid for
-// consumers that retain them.
-func projectBatch(batch []Row, fns []evalFn, dst []Row) ([]Row, error) {
+// consumers that retain them; its size is charged against the statement's
+// memory account.
+func projectBatch(batch []Row, fns []evalFn, dst []Row, qc *queryCtx) ([]Row, error) {
 	dst = dst[:0]
+	if err := qc.growMem(int64(len(batch)) * memRowBytes(len(fns))); err != nil {
+		return nil, err
+	}
 	arena := make([]Value, len(batch)*len(fns))
 	for _, r := range batch {
 		out := arena[:len(fns):len(fns)]

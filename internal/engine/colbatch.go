@@ -110,6 +110,9 @@ func (a *sgbAggOp) collectColumnar() (geom.Cols, int, int, error) {
 		if err := a.qc.addRows(len(rows)); err != nil {
 			return err
 		}
+		if err := a.qc.growMem(int64(dim) * int64(len(rows)) * 8); err != nil {
+			return err
+		}
 		c := geom.MakeCols(dim, len(rows))
 		for d, idx := range cp.colIdx {
 			col := c.Col(d)
@@ -134,6 +137,9 @@ func (a *sgbAggOp) collectColumnar() (geom.Cols, int, int, error) {
 	var total int
 	for _, c := range chunks {
 		total += c.Len()
+	}
+	if err := a.qc.growMem(int64(dim) * int64(total) * 8); err != nil {
+		return geom.Cols{}, 0, 0, err
 	}
 	cols := geom.MakeCols(dim, total)
 	for d := 0; d < dim; d++ {

@@ -63,6 +63,16 @@ type DB struct {
 	// the engine's durability seam. See SetCommitHook.
 	commitHook atomic.Pointer[CommitHook]
 
+	// execHook, when set, runs with every statement's SQL text on the
+	// executing goroutine before parsing. It exists for fault injection: the
+	// chaos tests install a hook that panics or stalls at a precise engine
+	// point. See SetExecHook.
+	execHook atomic.Pointer[func(string)]
+
+	// gov is the process-wide memory governor: statement admission and
+	// scratch-memory accounting. See SetMemoryBudget.
+	gov memGovernor
+
 	// aaMu guards the auto-ANALYZE trigger state: aaCh is the pending-table
 	// queue (nil = disabled), aaPending dedups queued tables by lowercased
 	// name. See autoanalyze.go.
@@ -87,7 +97,21 @@ func NewDB() *DB {
 	db := &DB{cat: NewCatalog(), sgbAlg: core.IndexBounds, sgbAuto: true}
 	db.metrics.Store(obs.NewRegistry())
 	db.traceEvery.Store(DefaultTraceSampling)
+	db.gov.db = db
+	db.gov.queueCap = defaultMemQueueCap
 	return db
+}
+
+// SetExecHook installs a hook invoked with every statement's SQL text on the
+// executing goroutine, before parsing; nil removes it. It is a fault-
+// injection seam for the chaos tests — a hook that panics simulates an engine
+// bug inside statement execution, proving the serving layer's isolation.
+func (db *DB) SetExecHook(h func(sql string)) {
+	if h == nil {
+		db.execHook.Store(nil)
+		return
+	}
+	db.execHook.Store(&h)
 }
 
 // DefaultTraceSampling is the default plan-capture rate: one statement in 64
@@ -370,6 +394,9 @@ func (db *DB) execSQL(ctx context.Context, sql string, set Settings) (*Result, e
 // engine's parse/plan/execute spans land on the same trace as the server's
 // wire-decode and streaming spans.
 func (db *DB) execSQLTrace(ctx context.Context, sql string, set Settings, tr *obs.Trace) (*Result, error) {
+	if hp := db.execHook.Load(); hp != nil {
+		(*hp)(sql)
+	}
 	tr.SetState("parsing")
 	span := tr.StartSpan("parse")
 	stmt, err := Parse(sql)
@@ -428,8 +455,21 @@ func (db *DB) execTraced(ctx context.Context, stmt Statement, tr *obs.Trace, set
 
 	var res *Result
 	err := ctx.Err()
+	// Memory admission: when a process budget (or per-query memory limit) is
+	// configured, the statement gets an account with the governor before it
+	// takes the statement lock — an exhausted pool queues or sheds it here,
+	// where it holds no locks, rather than mid-execution.
+	var acct *memAccount
+	if err == nil {
+		tr.SetState("admitting")
+		acct, err = db.gov.admit(ctx, lim.MaxMemoryBytes)
+		if acct != nil {
+			defer acct.release()
+		}
+	}
 	if err == nil {
 		qc := newQueryCtx(ctx, lim)
+		qc.mem = acct
 		qc.workers = set.Parallelism
 		if qc.workers <= 0 {
 			qc.workers = runtime.GOMAXPROCS(0)

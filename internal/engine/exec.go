@@ -43,6 +43,11 @@ func materialize(op operator, qc *queryCtx) ([]Row, error) {
 		if err := qc.addRows(len(batch)); err != nil {
 			return nil, err
 		}
+		if len(batch) > 0 {
+			if err := qc.growMem(int64(len(batch)) * memRowBytes(len(batch[0]))); err != nil {
+				return nil, err
+			}
+		}
 		rows = append(rows, batch...)
 	}
 }
@@ -495,6 +500,9 @@ func (t *aggTable) addRow(r Row) error {
 		if err := t.qc.addRows(1); err != nil {
 			return err
 		}
+		if err := t.qc.growMem(memBucketOverheadBytes + memValueBytes*int64(len(keyVals))); err != nil {
+			return err
+		}
 		acc, err := newGroupAccumulator(t.calls)
 		if err != nil {
 			return err
@@ -516,6 +524,9 @@ func (t *aggTable) fold(o *aggTable) error {
 		b, ok := t.buckets[key]
 		if !ok {
 			if err := t.qc.addRows(1); err != nil {
+				return err
+			}
+			if err := t.qc.growMem(memBucketOverheadBytes + memValueBytes*int64(len(ob.keyVals))); err != nil {
 				return err
 			}
 			t.buckets[key] = ob
@@ -747,6 +758,11 @@ func (a *sgbAggOp) collectSerial() ([]Row, error) {
 		if err := a.qc.addRows(len(batch)); err != nil {
 			return nil, err
 		}
+		if len(batch) > 0 {
+			if err := a.qc.growMem(int64(len(batch)) * memRowBytes(len(batch[0]))); err != nil {
+				return nil, err
+			}
+		}
 		tuples = append(tuples, batch...)
 	}
 }
@@ -759,6 +775,11 @@ func (a *sgbAggOp) collectParallel() ([]Row, error) {
 	morsels, used, err := a.frag.run(a.qc, a.workers, func(m int, rows []Row) error {
 		if err := a.qc.addRows(len(rows)); err != nil {
 			return err
+		}
+		if len(rows) > 0 {
+			if err := a.qc.growMem(int64(len(rows)) * memRowBytes(len(rows[0]))); err != nil {
+				return err
+			}
 		}
 		chunks[m] = append([]Row(nil), rows...)
 		return nil
@@ -784,6 +805,9 @@ func (a *sgbAggOp) collectParallel() ([]Row, error) {
 // engine never materializes per-row Point slices on the SGB hot path.
 func (a *sgbAggOp) colsOf(tuples []Row) (geom.Cols, error) {
 	dim := len(a.groupExprs)
+	if err := a.qc.growMem(int64(dim) * int64(len(tuples)) * 8); err != nil {
+		return geom.Cols{}, err
+	}
 	cols := geom.MakeCols(dim, len(tuples))
 	for i, g := range a.groupExprs {
 		col := cols.Col(i)
@@ -873,6 +897,12 @@ func (a *sgbAggOp) open() error {
 	}
 	a.lastStats = res.Stats
 	a.lastDropped = len(res.Dropped)
+	// The grouper's output side: one accumulator set and one result row per
+	// group, charged up front rather than inside the per-group loop.
+	outWidth := len(a.groupExprs) + len(a.calls)
+	if err := a.qc.growMem(int64(len(res.Groups)) * (memBucketOverheadBytes + memRowBytes(outWidth))); err != nil {
+		return err
+	}
 	for _, grp := range res.Groups {
 		acc, err := newGroupAccumulator(a.calls)
 		if err != nil {

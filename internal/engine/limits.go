@@ -21,21 +21,50 @@ type Limits struct {
 	// MaxExecutionTime caps a statement's wall-clock execution time.
 	// 0 means unlimited.
 	MaxExecutionTime time.Duration
+	// MaxMemoryBytes caps the scratch memory a single statement may charge
+	// against the memory governor's accounting (batch arenas, aggregation
+	// tables, columnar scratch, materialized results). 0 means unlimited —
+	// the statement is then bounded only by the process budget, if one is
+	// set (DB.SetMemoryBudget).
+	MaxMemoryBytes int64
 }
+
+// ResourceLimitError scopes: a per-query limit blames the statement itself;
+// global pressure blames overall load — the statement was a victim and is
+// worth retrying once the process quiets down.
+const (
+	// LimitScopeQuery marks a per-query limit (the Scope zero value).
+	LimitScopeQuery = "query"
+	// LimitScopeGlobal marks process-wide pressure: the shared memory budget
+	// was exhausted or the admission queue overflowed.
+	LimitScopeGlobal = "global"
+)
 
 // ResourceLimitError is the typed error a statement fails with when it
 // exceeds a configured per-query limit. Callers distinguish it from ordinary
 // query errors (and from context cancellation) with errors.As.
 type ResourceLimitError struct {
-	// Resource names what ran out: "rows" or "time".
+	// Resource names what ran out: "rows", "time", or "memory".
 	Resource string
 	// Limit is the configured bound, rendered for the message.
 	Limit string
+	// Scope distinguishes a per-query limit ("" / LimitScopeQuery) from
+	// process-wide pressure (LimitScopeGlobal). The serving layer maps
+	// global errors to a retryable wire code, per-query ones to a terminal
+	// resource-limit code.
+	Scope string
 }
 
 func (e *ResourceLimitError) Error() string {
+	if e.Global() {
+		return fmt.Sprintf("engine: %s budget exhausted under load (%s); retry later", e.Resource, e.Limit)
+	}
 	return fmt.Sprintf("engine: query exceeded %s limit (%s)", e.Resource, e.Limit)
 }
+
+// Global reports whether the error is process-wide pressure rather than a
+// per-query limit.
+func (e *ResourceLimitError) Global() bool { return e.Scope == LimitScopeGlobal }
 
 // cancelCheckStride is how many row-at-a-time next() steps an operator takes
 // between context polls: frequent enough that cancellation lands promptly
@@ -74,6 +103,9 @@ type queryCtx struct {
 	noColumnar bool
 	rows       atomic.Int64
 	calls      atomic.Uint64
+	// mem is the statement's memory account with the process governor; nil
+	// when no budget or per-query memory limit is configured.
+	mem *memAccount
 }
 
 func newQueryCtx(ctx context.Context, lim Limits) *queryCtx {
@@ -117,6 +149,18 @@ func (q *queryCtx) addRows(n int) error {
 		}
 	}
 	return nil
+}
+
+// growMem charges n bytes of statement-scratch growth against the per-query
+// memory limit and the process budget. Operators call it at the allocation
+// sites that actually grow — batch arenas, new aggregation buckets, columnar
+// scratch, materialized rows — so accounting tracks real footprint without a
+// per-row branch.
+func (q *queryCtx) growMem(n int64) error {
+	if q == nil || q.mem == nil {
+		return nil
+	}
+	return q.mem.grow(n)
 }
 
 // context returns the statement's context (Background for the nil queryCtx),

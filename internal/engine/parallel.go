@@ -137,7 +137,7 @@ func (f *morselFragment) run(qc *queryCtx, workers int, emit func(morsel int, ro
 							projBuf = make([]Row, 0, batch)
 						}
 						var err error
-						if projBuf, err = projectBatch(out, st.fns, projBuf); err != nil {
+						if projBuf, err = projectBatch(out, st.fns, projBuf, qc); err != nil {
 							errs[w] = err
 							failed.Store(true)
 							return

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
@@ -92,6 +93,14 @@ func (c *conn) forceClose() {
 // serve runs the connection to completion: handshake, then the
 // request/response loop. It owns the socket and closes it on exit.
 func (c *conn) serve() {
+	// Last line of panic defense: a bug anywhere in the session loop kills
+	// this connection, not the daemon. Registered first so the socket/ctx
+	// cleanup defers below still run during unwinding.
+	defer func() {
+		if p := recover(); p != nil {
+			c.srv.db.Metrics().Counter("server_panics_recovered_total").Inc()
+		}
+	}()
 	defer c.nc.Close()
 	defer c.cancel()
 	defer close(c.done)
@@ -329,6 +338,85 @@ func (c *conn) writeDelta(d stream.Delta) error {
 	})
 }
 
+// statementPanicError marks a statement whose executor goroutine panicked.
+// The panic is contained to the statement: the session, the connection, and
+// the daemon all keep serving, and the stack lands in the slowlog trace.
+type statementPanicError struct {
+	val any
+}
+
+func (e *statementPanicError) Error() string {
+	return fmt.Sprintf("internal error: statement panicked: %v (stack captured to slowlog trace)", e.val)
+}
+
+// admit acquires an execution slot when the server caps concurrent
+// statements, waiting in the bounded admission queue and shedding beyond it.
+// It returns a release func (nil-safe semantics are the caller's: release is
+// non-nil iff ok and a slot was taken), ok=false when the statement must not
+// run (shed, canceled, or connection-fatal), and fatal=true when the
+// connection itself must close.
+func (c *conn) admit(tr *obs.Trace, qcancel context.CancelFunc) (release func(), ok, fatal bool) {
+	if c.srv.slots == nil {
+		return func() {}, true, false
+	}
+	// Fast path: a slot is free.
+	select {
+	case c.srv.slots <- struct{}{}:
+		return func() { <-c.srv.slots }, true, false
+	default:
+	}
+	m := c.srv.db.Metrics()
+	if int(c.srv.queued.Add(1)) > c.srv.cfg.AdmissionQueue {
+		// Queue full: shed now rather than queue without bound.
+		c.srv.queued.Add(-1)
+		m.Counter("server_queries_shed_total").Inc()
+		err := c.writeMsg(&wire.Error{
+			Code:         wire.CodeOverloaded,
+			Message:      "server overloaded: admission queue full; retry later",
+			RetryAfterMS: uint32(shedRetryAfter / time.Millisecond),
+		})
+		return nil, false, err != nil
+	}
+	tr.SetState("queued")
+	queuedGauge := m.Gauge("server_admission_queued")
+	queuedGauge.Add(1)
+	defer func() {
+		queuedGauge.Add(-1)
+		c.srv.queued.Add(-1)
+	}()
+	for {
+		select {
+		case c.srv.slots <- struct{}{}:
+			return func() { <-c.srv.slots }, true, false
+		case <-c.ctx.Done():
+			return nil, false, true
+		case <-c.drain:
+			c.writeMsg(&wire.Error{Code: wire.CodeShuttingDown, Message: "server is shutting down"})
+			return nil, false, true
+		case rr := <-c.in:
+			if rr.err != nil {
+				return nil, false, true
+			}
+			switch rr.msg.(type) {
+			case *wire.Cancel:
+				qcancel()
+				err := c.writeMsg(&wire.Error{Code: wire.CodeCanceled, Message: "query canceled while queued"})
+				return nil, false, err != nil
+			case *wire.Ping:
+				if c.writeMsg(&wire.Pong{}) != nil {
+					return nil, false, true
+				}
+			case *wire.Close:
+				return nil, false, true
+			default:
+				c.writeMsg(&wire.Error{Code: wire.CodeProtocol,
+					Message: fmt.Sprintf("unexpected %T while queued", rr.msg)})
+				return nil, false, true
+			}
+		}
+	}
+}
+
 // runQuery executes one statement on the session while concurrently watching
 // the wire for Cancel. It reports false when the connection must close.
 //
@@ -360,12 +448,35 @@ func (c *conn) runQuery(q *wire.Query, decodeDur time.Duration) bool {
 	c.srv.trackQuery(entry)
 	defer c.srv.untrackQuery(entry)
 
+	// Statement admission: when the server caps concurrency, wait for an
+	// execution slot (visible as state "queued" in the process list) or shed.
+	release, admitted, fatal := c.admit(tr, qcancel)
+	if !admitted {
+		tr.SetState("done")
+		c.srv.recordFinished(entry, c.settingsString(), time.Since(start), 0,
+			errors.New("statement not admitted (shed or canceled while queued)"))
+		return !fatal
+	}
+	defer release()
+	tr.SetState("parsing")
+
 	type execResult struct {
 		res *engine.Result
 		err error
 	}
 	resCh := make(chan execResult, 1)
 	go func() {
+		// Panic isolation: a panicking statement becomes a typed error on this
+		// connection with the stack preserved in the slowlog trace, while the
+		// daemon and every other session keep serving.
+		defer func() {
+			if p := recover(); p != nil {
+				m.Counter("server_panics_recovered_total").Inc()
+				tr.Annotate("panic: %v", p)
+				tr.Annotate("stack: %s", debug.Stack())
+				resCh <- execResult{nil, &statementPanicError{val: p}}
+			}
+		}()
 		res, err := c.sess.ExecContextTrace(qctx, q.SQL, tr)
 		resCh <- execResult{res, err}
 	}()
@@ -471,14 +582,30 @@ func (c *conn) streamResult(res *engine.Result) error {
 // connection survives query errors; only write failures are fatal.
 func (c *conn) writeQueryError(err error) error {
 	code := wire.CodeQuery
+	var retryMS uint32
 	var rle *engine.ResourceLimitError
+	var pe *statementPanicError
 	switch {
+	case errors.Is(err, ErrDegraded):
+		// Disk fault: the store is read-only until the probe promotes it back.
+		code = wire.CodeReadOnly
+		if st := c.srv.cfg.Store; st != nil {
+			retryMS = uint32(st.RetryAfter() / time.Millisecond)
+		}
+	case errors.As(err, &pe):
+		code = wire.CodeInternal
 	case errors.As(err, &rle):
-		code = wire.CodeResourceLimit
+		if rle.Global() {
+			// Global memory pressure, not this query's fault: retryable.
+			code = wire.CodeOverloaded
+			retryMS = uint32(shedRetryAfter / time.Millisecond)
+		} else {
+			code = wire.CodeResourceLimit
+		}
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		code = wire.CodeCanceled
 	}
-	return c.writeMsg(&wire.Error{Code: code, Message: err.Error()})
+	return c.writeMsg(&wire.Error{Code: code, Message: err.Error(), RetryAfterMS: retryMS})
 }
 
 // applySetting maps a Set frame onto the connection's engine session.
@@ -533,8 +660,14 @@ func (c *conn) applySetting(m *wire.Set) bool {
 }
 
 // writeMsg sends one frame. Frame writes are serialized by the session loop
-// (the only writer), so no extra locking is needed here.
+// (the only writer), so no extra locking is needed here. Pre-v4 peers reject
+// trailing payload bytes, so the retry-after hint is stripped for them.
 func (c *conn) writeMsg(m wire.Message) error {
+	if e, ok := m.(*wire.Error); ok && e.RetryAfterMS != 0 && c.version < 4 {
+		clone := *e
+		clone.RetryAfterMS = 0
+		m = &clone
+	}
 	return wire.WriteMessage(c.nc, m)
 }
 

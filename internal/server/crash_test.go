@@ -3,6 +3,7 @@ package server_test
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os/exec"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"sgb/internal/client"
+	"sgb/internal/wire"
 )
 
 // sgbdProc is one running sgbd child process.
@@ -218,6 +220,113 @@ func TestCrashRecoveryKill9(t *testing.T) {
 
 	// The recovered server keeps accepting durable writes.
 	if _, err := conn.Exec("INSERT INTO ingest VALUES (-1, 0.0, 0.0), (-2, 0.0, 0.0), (-3, 0.0, 0.0)"); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestCrashRecoveryKill9WhileDiskFull extends the kill -9 acceptance to the
+// degraded state: a real sgbd with an injected WAL byte budget
+// (-fault-disk-budget) ingests until the disk "fills" and the daemon turns
+// read-only, keeps serving reads in that state, and is then SIGKILLed while
+// degraded. Restarted on a healthy disk, it must hold every acknowledged
+// statement, no half-applied one, and accept writes again. Statements that
+// applied in memory but were rejected read-only are legitimately lost — they
+// were never acknowledged and the promotion checkpoint never ran.
+func TestCrashRecoveryKill9WhileDiskFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills a real sgbd process")
+	}
+	if runtime.GOOS == "windows" {
+		t.Skip("SIGKILL semantics")
+	}
+	dataDir := t.TempDir()
+	// ~2KB of WAL budget: the schema plus a handful of inserts land, then the
+	// disk is full. A long probe interval pins the degraded state so the kill
+	// always happens inside it.
+	p := startSgbd(t, dataDir, "-metrics-addr", "127.0.0.1:0",
+		"-fault-disk-budget", "2048", "-probe-interval", "1h")
+	defer p.cmd.Process.Kill()
+
+	conn, err := client.Connect(p.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exec("CREATE TABLE ingest (id INT, x FLOAT, y FLOAT)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ingest until the budget runs out. Every acknowledged statement counts;
+	// the first failure must be the typed read-only rejection with a hint.
+	acked := int64(0)
+	var rejection error
+	for i := 0; i < 1000; i++ {
+		base := i * 3
+		sql := fmt.Sprintf("INSERT INTO ingest VALUES (%d, %d.5, 1.0), (%d, %d.5, 2.0), (%d, %d.5, 3.0)",
+			base, base, base+1, base, base+2, base)
+		if _, err := conn.Exec(sql); err != nil {
+			rejection = err
+			break
+		}
+		acked++
+	}
+	if rejection == nil {
+		t.Fatal("the 2KB disk budget never ran out after 1000 statements")
+	}
+	if acked == 0 {
+		t.Fatal("no statement was acknowledged before the disk filled")
+	}
+	var se *client.ServerError
+	if !errors.As(rejection, &se) || se.Code != wire.CodeReadOnly || se.RetryAfterMS == 0 {
+		t.Fatalf("disk-full rejection was %v, want hinted CodeReadOnly", rejection)
+	}
+
+	// Degraded, not down: reads serve on the same connection, further writes
+	// keep failing read-only, and the state shows on /metrics and /readyz.
+	if _, err := conn.Exec("SELECT count(*) FROM ingest"); err != nil {
+		t.Fatalf("read while degraded: %v", err)
+	}
+	if _, err := conn.Exec("INSERT INTO ingest VALUES (-9, 0.0, 0.0)"); err == nil {
+		t.Fatal("write succeeded while degraded")
+	}
+	metrics := string(httpGet(t, p.metricsURL))
+	if !strings.Contains(metrics, "server_degraded 1") {
+		t.Error("/metrics does not report server_degraded 1 while degraded")
+	}
+	ready := string(httpGet(t, strings.Replace(p.metricsURL, "/metrics", "/readyz", 1)))
+	if !strings.Contains(ready, "degraded") {
+		t.Errorf("/readyz says %q while degraded, want the degraded marker", ready)
+	}
+
+	// kill -9 in the degraded state: no drain, no promotion, no checkpoint.
+	p.cmd.Process.Signal(syscall.SIGKILL)
+	p.cmd.Wait()
+
+	// Restart on the same dir with a healthy disk.
+	p2 := startSgbd(t, dataDir)
+	defer func() {
+		p2.cmd.Process.Signal(syscall.SIGTERM)
+		p2.cmd.Wait()
+	}()
+	conn2, err := client.Connect(p2.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	res, err := conn2.Query(context.Background(), "SELECT count(*) FROM ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Rows[0][0].I
+	if rows%3 != 0 {
+		t.Errorf("recovered %d rows: not a multiple of 3 — a half-applied statement survived", rows)
+	}
+	if stmts := rows / 3; stmts != acked {
+		// Exactly the acked prefix: one sequential connection, so there is no
+		// in-flight statement, and nothing unacknowledged carries a WAL record.
+		t.Errorf("recovered %d statements, acknowledged %d", stmts, acked)
+	}
+	if _, err := conn2.Exec("INSERT INTO ingest VALUES (-1, 0.0, 0.0), (-2, 0.0, 0.0), (-3, 0.0, 0.0)"); err != nil {
 		t.Fatalf("write after recovery: %v", err)
 	}
 }

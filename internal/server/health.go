@@ -14,9 +14,14 @@ import (
 //     server begins draining — a readiness probe that takes the instance out
 //     of a load balancer before shutdown and during boot-time replay.
 //
+// A degraded store (read-only after a disk fault) stays ready — it is still
+// serving reads — but /readyz reports the state so operators and balancers
+// can see it. Wire a reporter with SetDegradedFunc.
+//
 // The zero value is not ready. All methods are safe for concurrent use.
 type Health struct {
-	ready atomic.Bool
+	ready    atomic.Bool
+	degraded atomic.Pointer[func() bool]
 }
 
 // NewHealth returns a not-yet-ready Health.
@@ -27,6 +32,23 @@ func (h *Health) SetReady(ready bool) { h.ready.Store(ready) }
 
 // Ready reports the current readiness state.
 func (h *Health) Ready() bool { return h.ready.Load() }
+
+// SetDegradedFunc wires the store's degraded state into /readyz (nil clears).
+func (h *Health) SetDegradedFunc(f func() bool) {
+	if f == nil {
+		h.degraded.Store(nil)
+		return
+	}
+	h.degraded.Store(&f)
+}
+
+// Degraded reports whether the wired store is degraded (false when unwired).
+func (h *Health) Degraded() bool {
+	if fp := h.degraded.Load(); fp != nil {
+		return (*fp)()
+	}
+	return false
+}
 
 // Register installs the /healthz and /readyz handlers on mux.
 func (h *Health) Register(mux *http.ServeMux) {
@@ -39,6 +61,10 @@ func (h *Health) Register(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		if h.Ready() {
 			w.WriteHeader(http.StatusOK)
+			if h.Degraded() {
+				_, _ = w.Write([]byte("ready (degraded: read-only)\n"))
+				return
+			}
 			_, _ = w.Write([]byte("ready\n"))
 			return
 		}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sgb/internal/engine"
@@ -54,7 +55,28 @@ type Config struct {
 	// DB via the store observer or AttachEngine). Subscribe frames are
 	// rejected when nil.
 	Streams *stream.Manager
+	// Store, when non-nil, is the durable store the server fronts. The
+	// serving layer uses it to map degraded-state write rejections to
+	// CodeReadOnly with the probe interval as the retry-after hint.
+	Store *Store
+	// MaxActiveQueries caps statements executing concurrently across all
+	// connections; 0 = unlimited. Excess statements wait in a bounded
+	// admission queue and are shed with CodeOverloaded beyond it.
+	MaxActiveQueries int
+	// AdmissionQueue bounds how many statements may wait for an execution
+	// slot when MaxActiveQueries is reached; 0 = 64. Statements beyond the
+	// bound are refused immediately with CodeOverloaded and a retry-after
+	// hint — shedding early beats queueing without bound.
+	AdmissionQueue int
 }
+
+// defaultAdmissionQueue is the statement wait-queue bound when Config leaves
+// AdmissionQueue 0 (and MaxActiveQueries is set).
+const defaultAdmissionQueue = 64
+
+// shedRetryAfter is the retry-after hint attached to CodeOverloaded sheds: a
+// beat longer than a typical queued statement takes to drain.
+const shedRetryAfter = 250 * time.Millisecond
 
 // defaultSlowLogSize is the slow-query ring capacity when Config leaves it 0.
 const defaultSlowLogSize = 128
@@ -75,6 +97,11 @@ type Server struct {
 	procs   map[*procEntry]struct{}
 	slowlog *obs.SlowLog
 
+	// slots is the statement-admission semaphore (nil = unlimited); queued
+	// counts statements waiting for a slot against cfg.AdmissionQueue.
+	slots  chan struct{}
+	queued atomic.Int64
+
 	wg sync.WaitGroup // accept loop + one goroutine per connection
 }
 
@@ -90,13 +117,20 @@ func New(db *engine.DB, cfg Config) *Server {
 	if cfg.SlowLogSize <= 0 {
 		cfg.SlowLogSize = defaultSlowLogSize
 	}
-	return &Server{
+	if cfg.AdmissionQueue <= 0 {
+		cfg.AdmissionQueue = defaultAdmissionQueue
+	}
+	s := &Server{
 		cfg:     cfg,
 		db:      db,
 		conns:   make(map[*conn]struct{}),
 		procs:   make(map[*procEntry]struct{}),
 		slowlog: obs.NewSlowLog(cfg.SlowLogSize),
 	}
+	if cfg.MaxActiveQueries > 0 {
+		s.slots = make(chan struct{}, cfg.MaxActiveQueries)
+	}
+	return s
 }
 
 // DB returns the shared database the server serves.
@@ -123,6 +157,10 @@ func (s *Server) Start() error {
 	m.Histogram("server_wire_decode_seconds", obs.DefBuckets)
 	m.Histogram("server_wire_execute_seconds", obs.DefBuckets)
 	m.Histogram("server_wire_stream_seconds", obs.DefBuckets)
+	m.Gauge("server_degraded")
+	m.Gauge("server_admission_queued")
+	m.Counter("server_queries_shed_total")
+	m.Counter("server_panics_recovered_total")
 
 	s.wg.Add(1)
 	go s.acceptLoop()

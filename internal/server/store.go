@@ -36,6 +36,26 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // cannot be made durable and is failed rather than silently acknowledged.
 var ErrStoreClosed = errors.New("server: store closed; statement not logged")
 
+// ErrDegraded reports a write rejected because the store is degraded: a disk
+// fault (ENOSPC, fsync failure) latched the WAL, so reads, subscriptions, and
+// introspection keep serving but no statement can be made durable. A
+// background probe repairs the log and promotes the store back to writable;
+// the write is safe to retry after the probe interval.
+var ErrDegraded = errors.New("server: store degraded (read-only): disk fault pending recovery")
+
+// Resyncer is an optional CommitObserver extension. After the store promotes
+// out of the degraded state it calls Resync with the engine and the current
+// WAL seq: statements that applied in memory but failed durability never
+// reached Commit, so derived state (materialized views) must rebuild from the
+// engine's actual contents.
+type Resyncer interface {
+	Resync(db *engine.DB, seq uint64)
+}
+
+// defaultProbeInterval is how often the degraded-state probe retries disk
+// recovery (and the retry-after hint handed to clients).
+const defaultProbeInterval = time.Second
+
 // StoreOptions configures a durable Store.
 type StoreOptions struct {
 	// Dir is the data directory (created if missing): checkpoint.sgb plus
@@ -59,6 +79,10 @@ type StoreOptions struct {
 	// views incrementally maintained and to regenerate delta history on
 	// recovery.
 	Observer CommitObserver
+	// ProbeInterval is how often the degraded-state probe attempts disk
+	// recovery; 0 = one second. It doubles as the retry-after hint clients
+	// receive with CodeReadOnly rejections.
+	ProbeInterval time.Duration
 }
 
 // CommitObserver follows the store's committed statement stream — both the
@@ -101,6 +125,14 @@ type Store struct {
 	// drive the checkpoint_lag_seq / checkpoint_lag_seconds gauges.
 	ckptSeq          atomic.Uint64
 	firstUncoveredNS atomic.Int64
+
+	// degraded is the read-only latch: set on the first WAL append/fsync
+	// failure, cleared by the probe after a successful log repair +
+	// checkpoint. degradedMu guards the cause and entry time.
+	degraded   atomic.Bool
+	degradedMu sync.Mutex
+	degradedAt time.Time
+	degradedBy error
 
 	stop      chan struct{}
 	wg        sync.WaitGroup
@@ -199,10 +231,19 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 		if sql == "" {
 			return errors.New("server: cannot log a pre-parsed statement; execute SQL text")
 		}
+		// Degraded fast path: while the disk fault stands, reject writes with
+		// the typed error instead of hammering the latched log. Reads never
+		// reach the hook and keep serving.
+		if s.degraded.Load() {
+			return s.degradedError()
+		}
 		appendStart := time.Now()
 		seq, syncDur, err := s.log.AppendSynced(wal.KindStatement, []byte(sql))
 		if err != nil {
-			return err
+			// First disk fault: enter the managed degraded state. The probe
+			// loop owns the way back.
+			s.enterDegraded(err)
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
 		// Attribute the durability cost to the committing statement's trace:
 		// wal_append is the record write, wal_fsync the inline fsync (zero
@@ -229,7 +270,102 @@ func OpenStore(opts StoreOptions) (*Store, error) {
 	}
 	s.wg.Add(1)
 	go s.lagLoop()
+	m.Gauge("server_degraded").Set(0)
+	s.wg.Add(1)
+	go s.probeLoop()
 	return s, nil
+}
+
+// probeInterval is the degraded-probe period / client retry-after hint.
+func (s *Store) probeInterval() time.Duration {
+	if s.opts.ProbeInterval > 0 {
+		return s.opts.ProbeInterval
+	}
+	return defaultProbeInterval
+}
+
+// RetryAfter is the hint handed to clients with CodeReadOnly rejections: the
+// earliest the probe could have promoted the store back to writable.
+func (s *Store) RetryAfter() time.Duration { return s.probeInterval() }
+
+// Degraded reports whether the store is in the read-only degraded state,
+// with the triggering fault and entry time.
+func (s *Store) Degraded() (degraded bool, cause error, since time.Time) {
+	if !s.degraded.Load() {
+		return false, nil, time.Time{}
+	}
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return true, s.degradedBy, s.degradedAt
+}
+
+// degradedError renders the current rejection, wrapping ErrDegraded so
+// callers classify with errors.Is through the DurabilityError layer.
+func (s *Store) degradedError() error {
+	s.degradedMu.Lock()
+	cause := s.degradedBy
+	s.degradedMu.Unlock()
+	if cause != nil {
+		return fmt.Errorf("%w: %w", ErrDegraded, cause)
+	}
+	return ErrDegraded
+}
+
+// enterDegraded latches the read-only state (idempotent).
+func (s *Store) enterDegraded(cause error) {
+	if s.degraded.Swap(true) {
+		return
+	}
+	s.degradedMu.Lock()
+	s.degradedBy = cause
+	s.degradedAt = time.Now()
+	s.degradedMu.Unlock()
+	m := s.db.Metrics()
+	m.Gauge("server_degraded").Set(1)
+	m.Counter("server_degraded_transitions_total").Inc()
+}
+
+// probeLoop is the way back from degraded: every probe interval it re-checks
+// the disk and promotes the store to writable once a full repair succeeds.
+func (s *Store) probeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.probeInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.degraded.Load() {
+				s.tryPromote()
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// tryPromote attempts the degraded→writable transition: recover the log (it
+// truncates the torn tail and starts a fresh, clean segment — real disk I/O,
+// so it fails while the fault persists), then write a checkpoint making every
+// statement the engine has applied durable (statements whose hook failed are
+// in memory with no WAL record — the snapshot is what makes them safe), then
+// resync derived state, and only then reopen for writes.
+func (s *Store) tryPromote() bool {
+	m := s.db.Metrics()
+	if err := s.log.Recover(); err != nil {
+		m.Counter("server_degraded_probe_failures_total").Inc()
+		return false
+	}
+	if err := s.Checkpoint(); err != nil {
+		m.Counter("server_degraded_probe_failures_total").Inc()
+		return false
+	}
+	if r, ok := s.opts.Observer.(Resyncer); ok {
+		r.Resync(s.db, s.log.LastSeq())
+	}
+	s.degraded.Store(false)
+	m.Gauge("server_degraded").Set(0)
+	m.Counter("server_degraded_recoveries_total").Inc()
+	return true
 }
 
 // loggedStatement reports whether stmt belongs in the WAL: the catalog- and
@@ -446,7 +582,15 @@ func (s *Store) Close() error {
 			}
 			return ErrStoreClosed
 		})
-		err := s.Checkpoint()
+		var err error
+		if s.degraded.Load() && s.log.Recover() != nil {
+			// Disk still broken: a final snapshot cannot be written. Safe —
+			// no write was acknowledged while degraded, so the last durable
+			// checkpoint plus the WAL still cover everything acknowledged.
+			err = s.degradedError()
+		} else {
+			err = s.Checkpoint()
+		}
 		if cerr := s.log.Close(); err == nil {
 			err = cerr
 		}

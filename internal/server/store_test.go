@@ -264,7 +264,10 @@ func TestStoreTornTailRecovery(t *testing.T) {
 func TestStoreFaultInjection(t *testing.T) {
 	dir := t.TempDir()
 	ffs := wal.NewFaultFS(wal.OS)
-	s1, err := OpenStore(StoreOptions{Dir: dir, FS: ffs})
+	// A long probe interval keeps the degraded state latched for the whole
+	// test: this test asserts the fail-fast behavior, not the auto-promotion
+	// (TestStoreDegradedPromotes covers that).
+	s1, err := OpenStore(StoreOptions{Dir: dir, FS: ffs, ProbeInterval: time.Hour})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,10 +284,13 @@ func TestStoreFaultInjection(t *testing.T) {
 	if !errors.As(err, &de) || !errors.Is(err, wal.ErrInjected) {
 		t.Fatalf("injected failure surfaced as %v, want DurabilityError wrapping ErrInjected", err)
 	}
-	// The log has latched: subsequent writes fail fast without touching disk.
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("injected failure surfaced as %v, want ErrDegraded in the chain", err)
+	}
+	// The store is degraded: subsequent writes fail fast without touching disk.
 	_, err = s1.DB().Exec("INSERT INTO t VALUES (1001)")
-	if !errors.As(err, &de) || !errors.Is(err, wal.ErrLogFailed) {
-		t.Fatalf("post-failure write surfaced as %v, want DurabilityError wrapping ErrLogFailed", err)
+	if !errors.As(err, &de) || !errors.Is(err, ErrDegraded) {
+		t.Fatalf("post-failure write surfaced as %v, want DurabilityError wrapping ErrDegraded", err)
 	}
 	// Reads still work on the in-process state.
 	if _, err := s1.DB().Query("SELECT count(*) FROM t"); err != nil {

@@ -117,10 +117,7 @@ func (m *Manager) Commit(stmt engine.Statement, seq uint64) {
 	case *engine.DropMaterializedViewStmt:
 		key := strings.ToLower(st.Name)
 		if v, ok := m.views[key]; ok {
-			for sub := range v.subs {
-				sub.drop()
-			}
-			delete(m.views, key)
+			m.dropViewLocked(key, v)
 			m.metrics().Gauge("stream_views").Set(float64(len(m.views)))
 		}
 	case *engine.InsertStmt:
@@ -185,12 +182,15 @@ func (m *Manager) publish(v *view, walSeq uint64, deltas []Delta) {
 		v.lastSeq = PackSeq(walSeq+1, 0) - 1
 		return
 	}
+	var memDelta int64
 	for _, d := range deltas {
 		if len(v.ring) >= v.ringCap {
 			v.floor = v.ring[0].Seq
+			memDelta -= deltaBytes(v.ring[0])
 			v.ring = append(v.ring[:0], v.ring[1:]...)
 		}
 		v.ring = append(v.ring, d)
+		memDelta += deltaBytes(d)
 		v.lastSeq = d.Seq
 		for sub := range v.subs {
 			select {
@@ -199,6 +199,63 @@ func (m *Manager) publish(v *view, walSeq uint64, deltas []Delta) {
 				sub.drop()
 			}
 		}
+	}
+	v.ringBytes += memDelta
+	if m.db != nil {
+		// Background reservation with the engine memory governor: ring
+		// retention counts toward the process footprint but never fails a
+		// commit.
+		m.db.ReserveMemory(memDelta)
+	}
+}
+
+// deltaBytes estimates one ring entry's footprint for memory accounting.
+func deltaBytes(d Delta) int64 {
+	return 96 + 8*int64(len(d.Members)+len(d.Merged))
+}
+
+// dropViewLocked removes a view, cutting subscribers and returning its ring
+// reservation to the memory governor. Caller holds m.mu.
+func (m *Manager) dropViewLocked(key string, v *view) {
+	for sub := range v.subs {
+		sub.drop()
+	}
+	delete(m.views, key)
+	if m.db != nil && v.ringBytes != 0 {
+		m.db.ReserveMemory(-v.ringBytes)
+		v.ringBytes = 0
+	}
+}
+
+// Resync rebuilds every view against the engine's current contents and
+// publishes the resulting diffs at seq. The store calls it after promoting
+// out of the degraded (read-only) state: statements that applied in memory
+// but failed durability never reached Commit, so view state may trail the
+// base tables it mirrors.
+func (m *Manager) Resync(db *engine.DB, seq uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.db == nil {
+		m.db = db
+	}
+	reg := m.metrics()
+	for _, v := range m.views {
+		if v.err != nil {
+			continue
+		}
+		deltas, err := v.applyRebuild(m.db)
+		if err != nil {
+			v.err = err
+			for sub := range v.subs {
+				sub.drop()
+			}
+			reg.Counter("stream_view_errors_total").Inc()
+			continue
+		}
+		m.publish(v, seq, deltas)
+		v.noteApply(len(deltas), time.Now())
+		reg.Counter("stream_rebuilds_total").Inc()
+		reg.Counter("stream_deltas_total").Add(int64(len(deltas)))
 	}
 }
 

@@ -41,6 +41,10 @@ type view struct {
 	floor   uint64
 	ring    []Delta
 	ringCap int
+	// ringBytes is the ring's estimated footprint, reserved with the engine
+	// memory governor (background, non-failing) so admission decisions see
+	// matview retention as real memory.
+	ringBytes int64
 
 	subs map[*Subscription]struct{}
 

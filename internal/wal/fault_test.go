@@ -1,0 +1,200 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+)
+
+// TestENOSPCDuringAppend exhausts the injected disk budget mid-append: the
+// failing append reports ENOSPC, the log latches, and after RestoreDisk a
+// Recover truncates the torn tail so replay sees exactly the acknowledged
+// prefix plus post-recovery appends.
+func TestENOSPCDuringAppend(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	l, err := Open(Options{Dir: dir, FS: ffs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var acked []uint64
+	for i := 0; i < 3; i++ {
+		seq, _, err := l.AppendSynced(KindStatement, []byte(fmt.Sprintf("ok-%d", i)))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		acked = append(acked, seq)
+	}
+
+	// 10 more bytes of disk, then full: the next record (far larger) tears.
+	ffs.FailWithENOSPCAfter(10)
+	_, _, err = l.AppendSynced(KindStatement, []byte("this record does not fit on the full disk"))
+	if !errors.Is(err, ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append on full disk: %v, want ErrNoSpace wrapping ENOSPC", err)
+	}
+	if l.Failed() == nil {
+		t.Fatal("log did not latch after ENOSPC")
+	}
+	// Still full: appends fail fast, Recover fails, latch stays.
+	if _, _, err := l.AppendSynced(KindStatement, []byte("x")); !errors.Is(err, ErrLogFailed) {
+		t.Fatalf("append while latched: %v, want ErrLogFailed", err)
+	}
+	if err := l.Recover(); err == nil {
+		t.Fatal("Recover succeeded on a still-full disk")
+	}
+	if l.Failed() == nil {
+		t.Fatal("failed Recover cleared the latch")
+	}
+
+	// Disk freed: Recover truncates the torn tail and appends flow again.
+	ffs.RestoreDisk()
+	if err := l.Recover(); err != nil {
+		t.Fatalf("Recover after RestoreDisk: %v", err)
+	}
+	if l.Failed() != nil {
+		t.Fatalf("latch survived Recover: %v", l.Failed())
+	}
+	seq, _, err := l.AppendSynced(KindStatement, []byte("post-recovery"))
+	if err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	l.Close()
+
+	recs, st := replayAll(t, nil, dir)
+	if st.LastSeq != seq {
+		t.Fatalf("replay LastSeq %d, want %d", st.LastSeq, seq)
+	}
+	want := len(acked) + 1
+	if len(recs) != want {
+		t.Fatalf("replayed %d records, want %d (acked prefix + post-recovery)", len(recs), want)
+	}
+	if string(recs[len(recs)-1].Data) != "post-recovery" {
+		t.Fatalf("last record %q", recs[len(recs)-1].Data)
+	}
+}
+
+// TestENOSPCDuringFsync fails the fsync (the write itself lands): the commit
+// must NOT be acknowledged — the log latches — but the fully-written record
+// stays in the log after Recover, matching the engine's in-memory state
+// (applied-but-unacknowledged; the post-promotion checkpoint makes it
+// durable for real).
+func TestENOSPCDuringFsync(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	l, err := Open(Options{Dir: dir, FS: ffs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if _, _, err := l.AppendSynced(KindStatement, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the next fsync — the one the next append pays inline.
+	ffs.FailSyncAtErr(1, ErrNoSpace)
+	_, _, err = l.AppendSynced(KindStatement, []byte("written-not-synced"))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("append with failing fsync: %v, want ErrNoSpace", err)
+	}
+	if l.Failed() == nil {
+		t.Fatal("log did not latch after fsync failure")
+	}
+
+	ffs.FailSyncAtErr(0, nil) // heal the disk
+	if err := l.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	seq, _, err := l.AppendSynced(KindStatement, []byte("after"))
+	if err != nil {
+		t.Fatalf("append after Recover: %v", err)
+	}
+	l.Close()
+
+	recs, st := replayAll(t, nil, dir)
+	if st.LastSeq != seq || len(recs) != 3 {
+		t.Fatalf("replayed %d records (LastSeq %d), want 3 through %d — the fully-written record must survive Recover to match in-memory state", len(recs), st.LastSeq, seq)
+	}
+	if string(recs[1].Data) != "written-not-synced" {
+		t.Fatalf("record 2 is %q, want the written-not-synced record", recs[1].Data)
+	}
+}
+
+// TestShortWriteOnRotate tears the new segment's header mid-rotate: Rotate
+// must latch the log, and Recover must restore append service. Replay of the
+// final state sees every acknowledged record.
+func TestShortWriteOnRotate(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	l, err := Open(Options{Dir: dir, FS: ffs}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for i := 0; i < 2; i++ {
+		if _, _, err := l.AppendSynced(KindStatement, []byte(fmt.Sprintf("seg1-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.ShortWriteNextSegment()
+	if err := l.Rotate(); err == nil {
+		t.Fatal("Rotate with torn segment header succeeded")
+	}
+	if l.Failed() == nil {
+		t.Fatal("log did not latch after rotate fault")
+	}
+	if err := l.Recover(); err != nil {
+		t.Fatalf("Recover after rotate fault: %v", err)
+	}
+	seq, _, err := l.AppendSynced(KindStatement, []byte("seg2"))
+	if err != nil {
+		t.Fatalf("append after recovered rotate: %v", err)
+	}
+	l.Close()
+
+	recs, st := replayAll(t, nil, dir)
+	if st.LastSeq != seq || len(recs) != 3 {
+		t.Fatalf("replayed %d records (LastSeq %d), want 3 through seq %d", len(recs), st.LastSeq, seq)
+	}
+}
+
+// TestRecoverNoopWhenHealthy: Recover on an unlatched log is a no-op.
+func TestRecoverNoopWhenHealthy(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.AppendSynced(KindStatement, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Recover(); err != nil {
+		t.Fatalf("Recover on healthy log: %v", err)
+	}
+	if _, _, err := l.AppendSynced(KindStatement, []byte("b")); err != nil {
+		t.Fatalf("append after no-op Recover: %v", err)
+	}
+}
+
+// TestRenameFault drives the checkpoint-style rename path: the Nth rename
+// fails with ENOSPC, later renames succeed.
+func TestRenameFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	f, err := ffs.Create(dir + "/a.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	ffs.FailRenameAt(1)
+	if err := ffs.Rename(dir+"/a.tmp", dir+"/a"); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("injected rename fault: %v, want ErrNoSpace", err)
+	}
+	if err := ffs.Rename(dir+"/a.tmp", dir+"/a"); err != nil {
+		t.Fatalf("rename after fault: %v", err)
+	}
+}

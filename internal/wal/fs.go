@@ -2,11 +2,13 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"syscall"
 )
 
 // FS is the filesystem surface the WAL writes through. Production code uses
@@ -97,23 +99,36 @@ func (osFS) SyncDir(dir string) error {
 // ErrInjected is the failure FaultFS injects.
 var ErrInjected = errors.New("wal: injected fault")
 
+// ErrNoSpace is the disk-full failure FailWithENOSPCAfter injects. It wraps
+// syscall.ENOSPC so errors.Is(err, syscall.ENOSPC) classifies it exactly the
+// way a real full filesystem does.
+var ErrNoSpace = fmt.Errorf("wal: injected disk full: %w", syscall.ENOSPC)
+
 // FaultFS wraps another FS and fails the Nth write or fsync call (counted
 // across all files opened through it), optionally completing half the buffer
-// first — a short write, the torn-record case a real crash produces. All
-// methods are safe for concurrent use.
+// first — a short write, the torn-record case a real crash produces. It can
+// also simulate a disk filling up (FailWithENOSPCAfter: a byte budget after
+// which writes fail with ErrNoSpace until RestoreDisk), a failing
+// checkpoint-publish rename (FailRenameAt), and a torn segment header on
+// rotate (ShortWriteNextSegment). All methods are safe for concurrent use.
 type FaultFS struct {
 	inner FS
 
 	mu         sync.Mutex
 	writes     int
 	syncs      int
+	renames    int
 	failWrite  int  // fail the Nth Write call; 0 = never
 	shortWrite bool // when failing a write, write the first half of the buffer
 	failSync   int  // fail the Nth Sync call; 0 = never
+	syncErr    error
+	failRename int   // fail the Nth Rename call; 0 = never
+	enospc     int64 // remaining disk-byte budget; negative = unlimited
+	shortNext  bool  // tear the first write of the next Created file
 }
 
 // NewFaultFS wraps inner with an initially fault-free shim.
-func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner} }
+func NewFaultFS(inner FS) *FaultFS { return &FaultFS{inner: inner, enospc: -1} }
 
 // FailWriteAt arms the shim to fail the nth subsequent Write call (1 = the
 // very next one). When short is set, the failing write first writes half its
@@ -128,6 +143,65 @@ func (f *FaultFS) FailWriteAt(n int, short bool) {
 func (f *FaultFS) FailSyncAt(n int) {
 	f.mu.Lock()
 	f.failSync = f.syncs + n
+	f.syncErr = nil
+	f.mu.Unlock()
+}
+
+// FailSyncAtErr is FailSyncAt with a caller-chosen error. Pass ErrNoSpace to
+// model a delayed-allocation filesystem that only reports a full disk at
+// fsync time. n <= 0 disarms the fault ("the disk healed").
+func (f *FaultFS) FailSyncAtErr(n int, err error) {
+	f.mu.Lock()
+	if n <= 0 {
+		f.failSync, f.syncErr = 0, nil
+	} else {
+		f.failSync = f.syncs + n
+		f.syncErr = err
+	}
+	f.mu.Unlock()
+}
+
+// FailWithENOSPCAfter arms a simulated full disk: the next n bytes written
+// (counted across all files opened through the shim) succeed, after which
+// every write fails with ErrNoSpace — first writing whatever still fits,
+// exactly like a real filesystem filling up mid-append. The condition is
+// sticky until RestoreDisk.
+func (f *FaultFS) FailWithENOSPCAfter(n int64) {
+	f.mu.Lock()
+	f.enospc = n
+	f.mu.Unlock()
+}
+
+// RestoreDisk clears an armed or tripped ENOSPC condition — the "operator
+// freed disk space" event the degraded-mode probe recovers from.
+func (f *FaultFS) RestoreDisk() {
+	f.mu.Lock()
+	f.enospc = -1
+	f.mu.Unlock()
+}
+
+// DiskFull reports whether the ENOSPC budget is exhausted.
+func (f *FaultFS) DiskFull() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.enospc == 0
+}
+
+// FailRenameAt arms the shim to fail the nth subsequent Rename call with
+// ErrNoSpace — the checkpoint-publish rename on a full disk. One-shot:
+// later renames succeed, so a retrying checkpoint recovers.
+func (f *FaultFS) FailRenameAt(n int) {
+	f.mu.Lock()
+	f.failRename = f.renames + n
+	f.mu.Unlock()
+}
+
+// ShortWriteNextSegment arms a short write on the first Write call of the
+// next file Created through the shim: half the buffer lands, then the write
+// fails. Against the WAL this tears a fresh segment's header mid-rotate.
+func (f *FaultFS) ShortWriteNextSegment() {
+	f.mu.Lock()
+	f.shortNext = true
 	f.mu.Unlock()
 }
 
@@ -143,13 +217,31 @@ func (f *FaultFS) Create(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &faultFile{File: file, fs: f}, nil
+	ff := &faultFile{File: file, fs: f}
+	f.mu.Lock()
+	if f.shortNext {
+		ff.shortFirst = true
+		f.shortNext = false
+	}
+	f.mu.Unlock()
+	return ff, nil
 }
 
-func (f *FaultFS) Open(name string) (File, error)         { return f.inner.Open(name) }
-func (f *FaultFS) ReadDir(dir string) ([]string, error)   { return f.inner.ReadDir(dir) }
-func (f *FaultFS) Remove(name string) error               { return f.inner.Remove(name) }
-func (f *FaultFS) Rename(oldname, newname string) error   { return f.inner.Rename(oldname, newname) }
+func (f *FaultFS) Open(name string) (File, error)       { return f.inner.Open(name) }
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	f.renames++
+	fail := f.failRename != 0 && f.renames == f.failRename
+	f.mu.Unlock()
+	if fail {
+		return ErrNoSpace
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
 func (f *FaultFS) Truncate(name string, size int64) error { return f.inner.Truncate(name, size) }
 func (f *FaultFS) SyncDir(dir string) error               { return f.inner.SyncDir(dir) }
 func (f *FaultFS) Size(name string) (int64, error)        { return f.inner.Size(name) }
@@ -163,36 +255,86 @@ func (f *FaultFS) checkWrite() (fail, short bool) {
 	return f.failWrite != 0 && f.writes >= f.failWrite, f.shortWrite
 }
 
-func (f *FaultFS) checkSync() bool {
+func (f *FaultFS) checkSync() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.syncs++
-	return f.failSync != 0 && f.syncs >= f.failSync
+	if f.failSync != 0 && f.syncs >= f.failSync {
+		if f.syncErr != nil {
+			return f.syncErr
+		}
+		return ErrInjected
+	}
+	return nil
+}
+
+// takeBudget charges n bytes against the ENOSPC budget. It returns how many
+// bytes may still be written and whether the full write fits.
+func (f *FaultFS) takeBudget(n int) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.enospc < 0 {
+		return n, true
+	}
+	if int64(n) <= f.enospc {
+		f.enospc -= int64(n)
+		return n, true
+	}
+	allow := int(f.enospc)
+	f.enospc = 0
+	return allow, false
 }
 
 type faultFile struct {
 	File
 	fs *FaultFS
+
+	shortFirst bool // tear this file's first write (armed by ShortWriteNextSegment)
 }
 
 func (f *faultFile) Write(p []byte) (int, error) {
-	fail, short := f.fs.checkWrite()
-	if !fail {
-		return f.File.Write(p)
-	}
-	if short && len(p) > 1 {
+	if f.takeShortFirst() && len(p) > 1 {
 		n, err := f.File.Write(p[:len(p)/2])
 		if err != nil {
 			return n, err
 		}
 		return n, ErrInjected
 	}
-	return 0, ErrInjected
+	fail, short := f.fs.checkWrite()
+	if fail {
+		if short && len(p) > 1 {
+			n, err := f.File.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	allow, ok := f.fs.takeBudget(len(p))
+	if !ok {
+		var n int
+		if allow > 0 {
+			n, _ = f.File.Write(p[:allow])
+		}
+		return n, ErrNoSpace
+	}
+	return f.File.Write(p)
+}
+
+func (f *faultFile) takeShortFirst() bool {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.shortFirst {
+		f.shortFirst = false
+		return true
+	}
+	return false
 }
 
 func (f *faultFile) Sync() error {
-	if f.fs.checkSync() {
-		return ErrInjected
+	if err := f.fs.checkSync(); err != nil {
+		return err
 	}
 	return f.File.Sync()
 }

@@ -139,6 +139,7 @@ type Log struct {
 	name     string // current segment file name (not path)
 	segStart uint64 // first seq the current segment can hold
 	seq      uint64 // last assigned sequence number
+	written  int64  // bytes fully written to the current segment (no torn tail)
 	dirty    bool   // appended since last fsync
 	failed   error  // sticky first failure
 	closed   bool
@@ -228,6 +229,7 @@ func (l *Log) startSegment() error {
 		return err
 	}
 	l.f, l.name, l.segStart = f, name, l.seq+1
+	l.written = int64(len(segMagic))
 	return nil
 }
 
@@ -263,10 +265,13 @@ func (l *Log) AppendSynced(kind byte, data []byte) (uint64, time.Duration, error
 	rec = append(rec, payload...)
 
 	if _, err := l.f.Write(rec); err != nil {
+		// The write may have landed partially; l.written still marks the end
+		// of the last intact record so Recover can cut the torn tail.
 		l.failed = err
 		return 0, 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.seq = seq
+	l.written += int64(len(rec))
 	l.dirty = true
 	var syncDur time.Duration
 	if l.opts.Policy == SyncAlways {
@@ -340,7 +345,46 @@ func (l *Log) Rotate() error {
 		l.failed = err
 		return err
 	}
-	return l.startSegment()
+	if err := l.startSegment(); err != nil {
+		// A half-created next segment is a disk fault like any other: latch
+		// it so appends fail fast and Recover can repair the log.
+		l.failed = err
+		return err
+	}
+	return nil
+}
+
+// Recover clears a latched write or fsync failure by repairing the log in
+// place: it truncates the current segment back to the end of its last fully
+// written record (cutting any torn tail the failing write left) and starts a
+// fresh segment. Both steps do real disk I/O, so Recover fails — and the log
+// stays failed — while the underlying fault (e.g. a full disk) persists. The
+// degraded-mode probe calls this; on success the caller must re-checkpoint
+// before acknowledging new writes, because records appended after the last
+// successful fsync were never confirmed durable.
+func (l *Log) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log closed")
+	}
+	if l.failed == nil {
+		return nil
+	}
+	if l.f != nil {
+		_ = l.f.Close()
+	}
+	if err := l.fs.Truncate(filepath.Join(l.opts.Dir, l.name), l.written); err != nil {
+		return fmt.Errorf("wal: recover truncate: %w", err)
+	}
+	prev := l.failed
+	l.failed = nil
+	l.dirty = false
+	if err := l.startSegment(); err != nil {
+		l.failed = prev
+		return fmt.Errorf("wal: recover: %w", err)
+	}
+	return nil
 }
 
 // TrimBefore removes whole segments whose every record is covered by a

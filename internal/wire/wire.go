@@ -42,6 +42,12 @@
 //	   changes (created / member joined / merged / dissolved). v1/v2
 //	   clients are unaffected — they never send Subscribe — and a v3
 //	   client still downgrades for plain queries against older servers.
+//	4: graceful degradation: CodeReadOnly (store degraded, writes
+//	   rejected) and CodeOverloaded (admission shed) failures, and Error
+//	   frames may carry a trailing retry-after hint in milliseconds.
+//	   Servers strip the hint when talking to pre-v4 clients, whose
+//	   decoders reject trailing bytes; pre-v4 clients are otherwise
+//	   unaffected and v4 clients still downgrade against older servers.
 package wire
 
 import (
@@ -59,7 +65,7 @@ import (
 // MaxVersion is the newest protocol version this package speaks, and the
 // single source of truth every negotiation site must reference. See the
 // package comment for the compatibility policy.
-const MaxVersion = 3
+const MaxVersion = 4
 
 // Version is the newest protocol version this package speaks.
 //
@@ -151,6 +157,15 @@ const (
 	// CodeVersionMismatch rejects a Hello whose protocol version the server
 	// does not speak.
 	CodeVersionMismatch uint16 = 9
+	// CodeReadOnly rejects a write because the store is degraded: a disk
+	// fault latched the WAL, so reads keep serving but no statement can be
+	// made durable until the background probe repairs the log. Retryable;
+	// the Error usually carries a retry-after hint.
+	CodeReadOnly uint16 = 10
+	// CodeOverloaded sheds a statement under resource pressure — the
+	// admission queue is full or the process memory budget is exhausted.
+	// The statement was never executed, so retrying after the hint is safe.
+	CodeOverloaded uint16 = 11
 )
 
 // Message is one protocol frame, decoded.
@@ -291,11 +306,22 @@ type Done struct {
 type Error struct {
 	Code    uint16
 	Message string
+	// RetryAfterMS, when nonzero, hints how many milliseconds the client
+	// should wait before retrying (CodeReadOnly: the degraded-probe
+	// interval; CodeOverloaded: the shed backoff). Encoded as an optional
+	// trailing field only when nonzero, and only to v4+ peers — older
+	// decoders reject trailing bytes.
+	RetryAfterMS uint32
 }
 
 // Error renders the server failure as a Go error string.
 func (e *Error) Error() string {
 	return fmt.Sprintf("server error (code %d): %s", e.Code, e.Message)
+}
+
+// RetryAfter converts the hint to a duration (0 = no hint).
+func (e *Error) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterMS) * time.Millisecond
 }
 
 func (*Introspect) wireType() byte       { return TypeIntrospect }
@@ -480,6 +506,11 @@ func appendPayload(b []byte, m Message) ([]byte, error) {
 	case *Error:
 		b = append(b, byte(m.Code>>8), byte(m.Code))
 		b = appendString(b, m.Message)
+		// Optional trailing retry-after hint (v4); omitted when zero so the
+		// common frame stays byte-identical to v3.
+		if m.RetryAfterMS != 0 {
+			b = appendUint32(b, m.RetryAfterMS)
+		}
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
@@ -576,8 +607,13 @@ func decodePayload(typ byte, b []byte) (Message, error) {
 	case TypeError:
 		code := d.bytes(2)
 		msg := d.string()
+		var retryMS uint32
+		// Optional trailing retry-after hint (v4 servers, nonzero only).
+		if d.err == nil && d.off < len(d.b) {
+			retryMS = d.uint32()
+		}
 		if d.err == nil {
-			m = &Error{Code: uint16(code[0])<<8 | uint16(code[1]), Message: msg}
+			m = &Error{Code: uint16(code[0])<<8 | uint16(code[1]), Message: msg, RetryAfterMS: retryMS}
 		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message type 0x%02x", typ)

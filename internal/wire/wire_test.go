@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"sgb/internal/engine"
 )
@@ -36,6 +37,8 @@ func TestRoundTrip(t *testing.T) {
 		&Done{RowsAffected: 42, RowCount: 1000},
 		&Done{RowsAffected: -1, RowCount: 0},
 		&Error{Code: CodeResourceLimit, Message: "query exceeded rows limit"},
+		&Error{Code: CodeReadOnly, Message: "store degraded", RetryAfterMS: 1000},
+		&Error{Code: CodeOverloaded, Message: "admission queue full", RetryAfterMS: 250},
 	}
 	for _, m := range msgs {
 		var buf bytes.Buffer
@@ -188,4 +191,37 @@ func TestMalformedFrames(t *testing.T) {
 			t.Errorf("got %v, want io.EOF", err)
 		}
 	})
+}
+
+// TestErrorRetryAfterEncoding pins the v4 compatibility contract for the
+// Error frame's optional retry-after field: a zero hint encodes exactly as
+// the pre-v4 frame (no trailing bytes, so old decoders accept it), and a
+// nonzero hint appends one uint32 that new decoders read back.
+func TestErrorRetryAfterEncoding(t *testing.T) {
+	var withoutHint, withHint bytes.Buffer
+	if err := WriteMessage(&withoutHint, &Error{Code: CodeReadOnly, Message: "ro"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMessage(&withHint, &Error{Code: CodeReadOnly, Message: "ro", RetryAfterMS: 500}); err != nil {
+		t.Fatal(err)
+	}
+	if withHint.Len() != withoutHint.Len()+4 {
+		t.Fatalf("hinted frame is %d bytes, unhinted %d; want exactly 4 more",
+			withHint.Len(), withoutHint.Len())
+	}
+
+	got, err := ReadMessage(&withoutHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got.(*Error); e.RetryAfterMS != 0 || e.RetryAfter() != 0 {
+		t.Fatalf("zero-hint frame decoded RetryAfterMS=%d", e.RetryAfterMS)
+	}
+	got, err = ReadMessage(&withHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := got.(*Error); e.RetryAfterMS != 500 || e.RetryAfter() != 500*time.Millisecond {
+		t.Fatalf("hinted frame decoded RetryAfterMS=%d RetryAfter=%v", e.RetryAfterMS, e.RetryAfter())
+	}
 }
